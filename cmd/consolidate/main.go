@@ -1,0 +1,138 @@
+// Command consolidate plans a VM-based data center with the paper's utility
+// analytic model: given each service's arrival rate, per-resource serving
+// rates and virtualization impact factors, it reports the dedicated server
+// count M, the consolidated server count N, and the utilization and power
+// comparisons (Section III).
+//
+// Input is either the built-in case study,
+//
+//	consolidate -casestudy -web 4 -db 4
+//
+// or a JSON spec:
+//
+//	consolidate -spec plan.json
+//
+// with the schema
+//
+//	{
+//	  "lossTarget": 0.05,
+//	  "form": "eq5-restricted",            // or "eq5-verbatim", "harmonic"
+//	  "power": {"base": 250, "max": 340},  // optional, watts
+//	  "services": [
+//	    {
+//	      "name": "web",
+//	      "arrivalRate": 1280,
+//	      "servingRates":  {"diskio": 1420, "cpu": 3360},
+//	      "impactFactors": {"diskio": 0.98, "cpu": 0.63}
+//	    }
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON spec file ('-' for stdin)")
+	caseStudy := flag.Bool("casestudy", false, "use the paper's Web+DB case study")
+	webServers := flag.Int("web", 4, "case study: dedicated Web pool size")
+	dbServers := flag.Int("db", 4, "case study: dedicated DB pool size")
+	sensitivity := flag.Float64("sensitivity", 0, "also run a ±FRACTION input-sensitivity sweep (e.g. 0.1)")
+	writeSpec := flag.String("write", "", "write the resolved model spec as JSON to this file ('-' for stdout)")
+	asJSON := flag.Bool("json", false, "print the solve result as JSON instead of text")
+	flag.Parse()
+
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "consolidate: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var model *core.Model
+	switch {
+	case *caseStudy:
+		m, err := experiments.CaseStudyModel(*webServers, *dbServers)
+		if err != nil {
+			die("%v", err)
+		}
+		model = m
+	case *specPath != "":
+		var raw []byte
+		var err error
+		if *specPath == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(*specPath)
+		}
+		if err != nil {
+			die("%v", err)
+		}
+		model, err = parseSpec(raw)
+		if err != nil {
+			die("%v", err)
+		}
+	default:
+		die("supply -spec FILE or -casestudy (see -h)")
+	}
+
+	res, err := model.Solve()
+	if err != nil {
+		die("%v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			die("%v", err)
+		}
+		return
+	}
+	fmt.Println(res)
+	fmt.Println()
+	fmt.Println("dedicated plan:")
+	for _, sp := range res.Dedicated.PerService {
+		fmt.Printf("  %-16s %2d servers (bottleneck: %s)\n", sp.Service, sp.Servers, sp.Bottleneck)
+	}
+	fmt.Println("consolidated plan:")
+	for _, sp := range res.Consolidated.PerService {
+		for resName, n := range sp.PerResource {
+			fmt.Printf("  resource %-8s needs %2d servers\n", resName, n)
+		}
+	}
+
+	if *sensitivity > 0 {
+		rep, err := model.Sensitivity(*sensitivity)
+		if err != nil {
+			die("%v", err)
+		}
+		fmt.Printf("\n±%.0f%% input sensitivity (* = changes the consolidated plan):\n", *sensitivity*100)
+		fmt.Print(rep)
+	}
+
+	if *writeSpec != "" {
+		out := os.Stdout
+		if *writeSpec != "-" {
+			f, err := os.Create(*writeSpec)
+			if err != nil {
+				die("%v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := model.WriteJSON(out); err != nil {
+			die("%v", err)
+		}
+	}
+}
+
+// parseSpec delegates to the library's JSON schema (core.ParseJSONBytes).
+func parseSpec(raw []byte) (*core.Model, error) {
+	return core.ParseJSONBytes(raw)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const validSpec = `{
+  "lossTarget": 0.05,
+  "form": "harmonic",
+  "power": {"base": 250, "max": 340},
+  "services": [
+    {
+      "name": "web",
+      "arrivalRate": 1280,
+      "servingRates":  {"diskio": 1420, "cpu": 3360},
+      "impactFactors": {"diskio": 0.98, "cpu": 0.63}
+    },
+    {
+      "name": "db",
+      "arrivalRate": 90,
+      "servingRates": {"cpu": 100}
+    }
+  ]
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	m, err := parseSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Services) != 2 {
+		t.Fatalf("services = %d", len(m.Services))
+	}
+	if m.Form != core.TrafficHarmonic {
+		t.Fatalf("form = %v", m.Form)
+	}
+	if m.Power.Base != 250 || m.Power.Max != 340 {
+		t.Fatalf("power = %+v", m.Power)
+	}
+	if m.Services[0].ServingRates[core.DiskIO] != 1420 {
+		t.Fatal("serving rates lost")
+	}
+	if m.Services[0].ImpactFactors[core.CPU] != 0.63 {
+		t.Fatal("impact factors lost")
+	}
+	// The parsed model solves.
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dedicated.Servers <= 0 {
+		t.Fatal("degenerate plan")
+	}
+}
+
+func TestParseSpecDefaultsToRestrictedForm(t *testing.T) {
+	spec := strings.Replace(validSpec, `"form": "harmonic",`, "", 1)
+	m, err := parseSpec([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Form != core.TrafficEq5Restricted {
+		t.Fatalf("default form = %v", m.Form)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"garbage", `not json`},
+		{"unknown form", strings.Replace(validSpec, "harmonic", "quantum", 1)},
+		{"unknown field", `{"lossTarget":0.05,"bogus":1,"services":[]}`},
+		{"invalid model", `{"lossTarget":0.05,"services":[]}`},
+		{"bad loss target", strings.Replace(validSpec, "0.05", "1.5", 1)},
+	}
+	for _, c := range cases {
+		if _, err := parseSpec([]byte(c.spec)); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command erlang is an Erlang loss-formula calculator — the paper's Eq. (1)
+// and (2) machinery exposed on the command line.
+//
+// Modes:
+//
+//	erlang -n 8 -rho 5            blocking probability B(n, rho)
+//	erlang -rho 5 -target 0.01    smallest n with B(n, rho) <= target
+//	erlang -n 8 -target 0.01      largest admissible traffic rho
+//	erlang -n 8 -rho 5 -c         Erlang C waiting probability instead
+//	erlang -n 8 -rho 5 -dist      stationary busy-server distribution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/erlang"
+)
+
+func main() {
+	n := flag.Int("n", 0, "number of servers")
+	rho := flag.Float64("rho", -1, "offered traffic in Erlangs")
+	target := flag.Float64("target", -1, "target loss probability")
+	useC := flag.Bool("c", false, "compute Erlang C (waiting) instead of Erlang B")
+	dist := flag.Bool("dist", false, "print the stationary busy-server distribution")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "erlang: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *dist && *n > 0 && *rho >= 0:
+		pi, err := erlang.StateDistribution(*n, *rho)
+		if err != nil {
+			die(err)
+		}
+		for k, p := range pi {
+			fmt.Printf("pi[%d] = %.6g\n", k, p)
+		}
+	case *n > 0 && *rho >= 0 && *target < 0:
+		if *useC {
+			c, err := erlang.C(*n, *rho)
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("ErlangC(n=%d, rho=%g) = %.6g\n", *n, *rho, c)
+			return
+		}
+		b, err := erlang.B(*n, *rho)
+		if err != nil {
+			die(err)
+		}
+		util, err := erlang.Utilization(*n, *rho)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("ErlangB(n=%d, rho=%g) = %.6g (utilization %.4f)\n", *n, *rho, b, util)
+	case *rho >= 0 && *target > 0 && *n == 0:
+		servers, err := erlang.Servers(*rho, *target, 0)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("Servers(rho=%g, B<=%g) = %d\n", *rho, *target, servers)
+	case *n > 0 && *target > 0 && *rho < 0:
+		traffic, err := erlang.Traffic(*n, *target)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("Traffic(n=%d, B<=%g) = %.6g Erlangs\n", *n, *target, traffic)
+	default:
+		fmt.Fprintln(os.Stderr, "erlang: supply two of -n, -rho, -target (see -h)")
+		os.Exit(2)
+	}
+}

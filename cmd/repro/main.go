@@ -1,0 +1,166 @@
+// Command repro regenerates the paper's evaluation artifacts — every table
+// and figure of Section IV plus the Fig. 2 motivation analysis and this
+// repository's extension experiments — from the simulation substrates.
+//
+// Usage:
+//
+//	repro [-seed N] [-quick] [-parallel N] [-o DIR] [-list] [id ...]
+//
+// With no ids, every experiment runs in paper order. Use -list to see the
+// available ids, -parallel to run independent experiments concurrently,
+// and -o to also write each artifact as a markdown file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// outcome carries one experiment's results back to the printing loop.
+type outcome struct {
+	exp     experiments.Experiment
+	tables  []*experiments.Table
+	elapsed time.Duration
+	err     error
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "root random seed for all simulations")
+	quick := flag.Bool("quick", false, "shrink horizons and sweeps (~8x faster, noisier)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently (0 = GOMAXPROCS)")
+	outDir := flag.String("o", "", "also write each artifact as markdown into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	ids := flag.Args()
+	var todo []experiments.Experiment
+	if len(ids) == 0 {
+		todo = experiments.All()
+	} else {
+		for _, id := range ids {
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Run experiments on a worker pool; print results in submission order
+	// as they become available so output stays deterministic.
+	results := make([]outcome, len(todo))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				start := time.Now()
+				tables, err := todo[idx].Run(cfg)
+				results[idx] = outcome{
+					exp:     todo[idx],
+					tables:  tables,
+					elapsed: time.Since(start),
+					err:     err,
+				}
+			}
+		}()
+	}
+	for i := range todo {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	failed := false
+	for _, res := range results {
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", res.exp.ID, res.err)
+			failed = true
+			continue
+		}
+		fmt.Printf("### %s — %s (%.1fs)\n\n", res.exp.ID, res.exp.Title, res.elapsed.Seconds())
+		for _, t := range res.tables {
+			fmt.Println(t.String())
+		}
+		if *outDir != "" {
+			if err := writeMarkdown(*outDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: writing %s: %v\n", res.exp.ID, err)
+				failed = true
+			}
+		}
+	}
+	if *outDir != "" && !failed {
+		if err := writeIndex(*outDir, results); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: writing index: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeMarkdown writes one experiment's tables to <dir>/<id>.md.
+func writeMarkdown(dir string, res outcome) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n\n", res.exp.ID, res.exp.Title)
+	fmt.Fprintf(&b, "Generated in %.1fs.\n\n", res.elapsed.Seconds())
+	for _, t := range res.tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	return os.WriteFile(filepath.Join(dir, res.exp.ID+".md"), []byte(b.String()), 0o644)
+}
+
+// writeIndex writes a README linking the artifacts.
+func writeIndex(dir string, results []outcome) error {
+	var b strings.Builder
+	b.WriteString("# Reproduced artifacts\n\n")
+	sorted := append([]outcome(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].exp.ID < sorted[j].exp.ID })
+	for _, res := range sorted {
+		if res.err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "- [%s](%s.md) — %s\n", res.exp.ID, res.exp.ID, res.exp.Title)
+	}
+	return os.WriteFile(filepath.Join(dir, "README.md"), []byte(b.String()), 0o644)
+}

@@ -1,0 +1,171 @@
+// Command simulate runs the data-center simulator on the paper's case-study
+// services and prints per-service QoS, per-host utilization and power — the
+// direct way to try "what if I consolidate my 4+4 pools onto 3 hosts?"
+//
+// Examples:
+//
+//	simulate -mode dedicated -web-servers 4 -db-servers 4
+//	simulate -mode consolidated -hosts 4
+//	simulate -mode consolidated -hosts 4 -alloc static
+//	simulate -mode consolidated -hosts 4 -alloc proportional -period 0.5 -cost 0.02
+//	simulate -mode consolidated -hosts 3 -mtbf 300 -mttr 30   (failure injection)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/power"
+	"repro/internal/rainbow"
+	"repro/internal/virt"
+	"repro/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "consolidated", "dedicated or consolidated")
+	hosts := flag.Int("hosts", 4, "consolidated pool size")
+	webServers := flag.Int("web-servers", 4, "dedicated Web pool size (also sizes the offered load)")
+	dbServers := flag.Int("db-servers", 4, "dedicated DB pool size (also sizes the offered load)")
+	intensity := flag.Float64("intensity", 0.70, "offered load as a fraction of dedicated capacity")
+	webRate := flag.Float64("web-rate", 0, "override Web arrival rate (req/s)")
+	dbRate := flag.Float64("db-rate", 0, "override DB arrival rate (WIPS)")
+	alloc := flag.String("alloc", "flowing", "flowing, static, proportional or priority")
+	period := flag.Float64("period", 1, "reallocation period for proportional/priority (s)")
+	cost := flag.Float64("cost", 0.01, "reallocation overhead fraction")
+	horizon := flag.Float64("horizon", 120, "simulated seconds")
+	seed := flag.Uint64("seed", 42, "random seed")
+	mtbf := flag.Float64("mtbf", 0, "mean time between host failures (s, 0 = off)")
+	mttr := flag.Float64("mttr", 0, "mean time to repair (s)")
+	classes := flag.String("classes", "", `heterogeneous consolidated fleet, e.g. "amd:2,intel:3" `+
+		`(amd = reference; intel = 1/1.2 capability; blade = 1/2). Overrides -hosts.`)
+	flag.Parse()
+
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	lambdaW := *intensity * float64(*webServers) * workload.WebDiskRate
+	lambdaD := *intensity * float64(*dbServers) * workload.DBCPURate
+	if *webRate > 0 {
+		lambdaW = *webRate
+	}
+	if *dbRate > 0 {
+		lambdaD = *dbRate
+	}
+
+	cfg := cluster.Config{
+		Services: []cluster.ServiceSpec{
+			{
+				Profile:          workload.SPECwebEcommerce(),
+				Overhead:         virt.WebHostOverhead(),
+				Arrivals:         workload.NewPoisson(lambdaW),
+				DedicatedServers: *webServers,
+			},
+			{
+				Profile:          workload.TPCWEbook(),
+				Overhead:         virt.DBHostOverhead(),
+				Arrivals:         workload.NewPoisson(lambdaD),
+				DedicatedServers: *dbServers,
+			},
+		},
+		ConsolidatedServers: *hosts,
+		Horizon:             *horizon,
+		Warmup:              *horizon / 6,
+		Seed:                *seed,
+		MTBF:                *mtbf,
+		MTTR:                *mttr,
+	}
+
+	platform := power.NativeLinux
+	switch *mode {
+	case "dedicated":
+		cfg.Mode = cluster.Dedicated
+	case "consolidated":
+		cfg.Mode = cluster.Consolidated
+		platform = power.XenRainbow
+	default:
+		die("unknown mode %q", *mode)
+	}
+
+	if *classes != "" {
+		if cfg.Mode != cluster.Consolidated {
+			die("-classes requires -mode consolidated")
+		}
+		hcs, err := parseClasses(*classes)
+		if err != nil {
+			die("%v", err)
+		}
+		cfg.HostClasses = hcs
+		cfg.ConsolidatedServers = 0
+	}
+
+	switch *alloc {
+	case "flowing":
+		// nil Alloc = ideal on-demand resource flowing.
+	case "static":
+		cfg.Alloc = rainbow.Static{}
+	case "proportional":
+		cfg.Alloc = rainbow.Proportional{RebalancePeriod: *period, MinShare: 0.05, Cost: *cost}
+	case "priority":
+		cfg.Alloc = rainbow.Priority{Priorities: []int{0, 1}, RebalancePeriod: *period, Cost: *cost}
+	default:
+		die("unknown allocator %q", *alloc)
+	}
+
+	fmt.Printf("offered load: web %.0f req/s, db %.0f WIPS\n\n", lambdaW, lambdaD)
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		die("%v", err)
+	}
+	fmt.Println(res)
+	fmt.Println()
+	for _, h := range res.Hosts {
+		fmt.Printf("host %d:", h.ID)
+		for _, r := range []string{workload.CPU, workload.DiskIO} {
+			fmt.Printf("  %s=%.3f", r, h.Utilization[r])
+		}
+		fmt.Println()
+	}
+	total, idle := res.Energy(power.DefaultServer, platform)
+	fmt.Printf("\npower (%s platform): mean %.0f W total, %.0f W idle floor, %.0f W workload\n",
+		platform, total/res.Window, idle/res.Window, (total-idle)/res.Window)
+	if res.Failures > 0 {
+		fmt.Printf("host failures injected: %d\n", res.Failures)
+	}
+}
+
+// parseClasses parses "name:count,name:count" into host classes with the
+// built-in capability presets (amd = 1, intel = 1/1.2, blade = 0.5).
+func parseClasses(spec string) ([]cluster.HostClass, error) {
+	presets := map[string]map[string]float64{
+		"amd":   nil, // reference
+		"intel": {workload.CPU: 1 / 1.2, workload.DiskIO: 1 / 1.2},
+		"blade": {workload.CPU: 0.5, workload.DiskIO: 0.5},
+	}
+	var out []cluster.HostClass
+	for _, part := range strings.Split(spec, ",") {
+		name, countStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("class %q: want name:count", part)
+		}
+		capability, known := presets[name]
+		if !known {
+			return nil, fmt.Errorf("unknown class %q (amd, intel, blade)", name)
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("class %q: bad count %q", name, countStr)
+		}
+		out = append(out, cluster.HostClass{Name: name, Count: count, Capability: capability})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty class spec")
+	}
+	return out, nil
+}

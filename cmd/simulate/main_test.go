@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestParseClasses(t *testing.T) {
+	hcs, err := parseClasses("amd:2, intel:3,blade:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hcs) != 3 {
+		t.Fatalf("classes = %d", len(hcs))
+	}
+	if hcs[0].Name != "amd" || hcs[0].Count != 2 || hcs[0].Capability != nil {
+		t.Fatalf("amd class %+v", hcs[0])
+	}
+	if hcs[1].Capability[workload.CPU] != 1/1.2 {
+		t.Fatalf("intel capability %v", hcs[1].Capability)
+	}
+	if hcs[2].Capability[workload.DiskIO] != 0.5 {
+		t.Fatalf("blade capability %v", hcs[2].Capability)
+	}
+	for _, bad := range []string{"", "amd", "amd:x", "amd:0", "xeon:2", "amd:2;intel:1"} {
+		if _, err := parseClasses(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package consolidation_test
+
+import (
+	"fmt"
+	"log"
+
+	consolidation "repro"
+)
+
+// Example sizes the paper's group-2 case study: a Web service and a DB
+// service, each of which would need four dedicated servers, consolidate
+// onto four VM-based servers.
+func Example() {
+	web := consolidation.Service{
+		Name:        "web",
+		ArrivalRate: 2057, // req/s — the intensive workload of 4 dedicated servers
+		ServingRates: map[consolidation.Resource]float64{
+			consolidation.DiskIO: 1420,
+			consolidation.CPU:    3360,
+		},
+		ImpactFactors: map[consolidation.Resource]float64{
+			consolidation.DiskIO: 0.98,
+			consolidation.CPU:    0.63,
+		},
+	}
+	db := consolidation.Service{
+		Name:        "db",
+		ArrivalRate: 144.8, // WIPS
+		ServingRates: map[consolidation.Resource]float64{
+			consolidation.CPU: 100,
+		},
+	}
+	m := &consolidation.Model{
+		Services:   []consolidation.Service{web, db},
+		LossTarget: 0.05,
+	}
+	res, err := m.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("M=%d N=%d\n", res.Dedicated.Servers, res.Consolidated.Servers)
+	// Output:
+	// M=8 N=4
+}
+
+// ExampleErlangB computes the blocking probability at the case study's
+// consolidated operating point.
+func ExampleErlangB() {
+	b, err := consolidation.ErlangB(4, 1.52)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B = %.4f\n", b)
+	// Output:
+	// B = 0.0496
+}
+
+// ExampleErlangServers sizes a pool for 10 Erlangs of traffic at 1 % loss.
+func ExampleErlangServers() {
+	n, err := consolidation.ErlangServers(10, 0.01, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("servers = %d\n", n)
+	// Output:
+	// servers = 18
+}
+
+// ExampleModel_AllocatorBound reproduces application (1) of the paper's
+// Section III-B.4: the optimal QoS improvement any on-demand resource
+// allocation algorithm can deliver at M = N.
+func ExampleModel_AllocatorBound() {
+	m := &consolidation.Model{
+		Services: []consolidation.Service{
+			{
+				Name:        "web",
+				ArrivalRate: 1213,
+				ServingRates: map[consolidation.Resource]float64{
+					consolidation.DiskIO: 1420,
+					consolidation.CPU:    3360,
+				},
+				ImpactFactors: map[consolidation.Resource]float64{
+					consolidation.DiskIO: 0.98,
+					consolidation.CPU:    0.63,
+				},
+			},
+			{
+				Name:        "db",
+				ArrivalRate: 85.4,
+				ServingRates: map[consolidation.Resource]float64{
+					consolidation.CPU: 100,
+				},
+			},
+		},
+		LossTarget: 0.05,
+	}
+	bound, err := m.AllocatorBound(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("improvement bound = %.3fx\n", bound.ThroughputImprovement)
+	// Output:
+	// improvement bound = 1.047x
+}

@@ -1,0 +1,111 @@
+// Allocatoreval: score on-demand resource allocation policies against the
+// model's theoretical optimum, exactly as Section III-B.4 prescribes —
+// "the more close the improvements in QoS introduced by an on-demand
+// resource allocation algorithm to such ratio of (1−B), the better this
+// resource allocation algorithm is."
+//
+// It drives the data-center simulator with four Rainbow-style policies on
+// the same consolidated hardware and compares each policy's delivered
+// goodput to the ideal-flowing limit the model bounds.
+//
+//	go run ./examples/allocatoreval
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/rainbow"
+	"repro/internal/virt"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Group-1 case study: workloads that keep 3 consolidated hosts busy.
+	const hosts = 3
+	lambdaW := experiments.SaturationIntensity * 3 * workload.WebDiskRate
+	lambdaD := experiments.SaturationIntensity * 3 * workload.DBCPURate
+
+	base := cluster.Config{
+		Mode: cluster.Consolidated,
+		Services: []cluster.ServiceSpec{
+			{
+				Profile:  workload.SPECwebEcommerce(),
+				Overhead: virt.WebHostOverhead(),
+				Arrivals: workload.NewPoisson(lambdaW),
+			},
+			{
+				Profile:  workload.TPCWEbook(),
+				Overhead: virt.DBHostOverhead(),
+				Arrivals: workload.NewPoisson(lambdaD),
+			},
+		},
+		ConsolidatedServers: hosts,
+		Horizon:             180,
+		Warmup:              30,
+		Seed:                7,
+	}
+
+	policies := []struct {
+		name  string
+		alloc cluster.Partition
+	}{
+		{"ideal-flowing (model's assumption)", nil},
+		{"rainbow proportional (T=0.5s)", rainbow.Proportional{RebalancePeriod: 0.5, MinShare: 0.05, Cost: 0.01}},
+		{"rainbow priority (web first)", rainbow.Priority{Priorities: []int{0, 1}, RebalancePeriod: 0.5, Cost: 0.01}},
+		{"static partition (no flowing)", rainbow.Static{}},
+	}
+
+	fmt.Printf("consolidated pool: %d hosts; offered web %.0f req/s, db %.0f WIPS\n\n",
+		hosts, lambdaW, lambdaD)
+	fmt.Printf("%-38s %10s %10s %10s %9s\n", "policy", "goodput", "web loss", "db loss", "resp(ms)")
+
+	var flowingGoodput float64
+	for i, p := range policies {
+		cfg := base
+		cfg.Alloc = p.alloc
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		served := float64(res.Services[0].Served + res.Services[1].Served)
+		arrived := float64(res.Services[0].Arrivals + res.Services[1].Arrivals)
+		goodput := served / arrived
+		if i == 0 {
+			flowingGoodput = goodput
+		}
+		fmt.Printf("%-38s %9.4f %10.4f %10.4f %9.2f\n",
+			p.name, goodput,
+			res.Services[0].LossProb, res.Services[1].LossProb,
+			res.Services[0].ResponseTimes.Mean()*1000)
+	}
+
+	fmt.Println("\nscoring against the ideal-flowing limit (fraction of goodput realized):")
+	for _, p := range policies[1:] {
+		cfg := base
+		cfg.Alloc = p.alloc
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		served := float64(res.Services[0].Served + res.Services[1].Served)
+		arrived := float64(res.Services[0].Arrivals + res.Services[1].Arrivals)
+		score := (served / arrived) / flowingGoodput
+		fmt.Printf("  %-38s %.4f\n", p.name, score)
+	}
+
+	// The analytic side of the same question: the model's M = N bound.
+	m, err := experiments.CaseStudyModel(3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := m.AllocatorBound(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel's optimal (1-B) improvement at M = N = 6: %.4fx\n",
+		bound.ThroughputImprovement)
+	fmt.Println("(any runtime allocator's measured improvement should approach, not exceed, this)")
+}

@@ -1,0 +1,101 @@
+// Capacityplan: plan an Internet-oriented data center hosting the three
+// service tiers the paper's introduction motivates — a Web front end, an
+// application/API tier and a database — before any of them is deployed,
+// sweeping the QoS target to see how the consolidation saving moves.
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consolidation "repro"
+)
+
+func services() []consolidation.Service {
+	return []consolidation.Service{
+		{
+			Name:        "web-frontend",
+			ArrivalRate: 5200, // requests/s across the site
+			ServingRates: map[consolidation.Resource]float64{
+				consolidation.CPU:     6000,
+				consolidation.Network: 4500,
+			},
+			ImpactFactors: map[consolidation.Resource]float64{
+				consolidation.CPU:     0.80,
+				consolidation.Network: 0.92,
+			},
+		},
+		{
+			Name:        "api-tier",
+			ArrivalRate: 1800,
+			ServingRates: map[consolidation.Resource]float64{
+				consolidation.CPU:    2400,
+				consolidation.Memory: 5000,
+			},
+			ImpactFactors: map[consolidation.Resource]float64{
+				consolidation.CPU: 0.85,
+			},
+		},
+		{
+			Name:        "database",
+			ArrivalRate: 420,
+			ServingRates: map[consolidation.Resource]float64{
+				consolidation.CPU:    300,
+				consolidation.DiskIO: 550,
+			},
+			ImpactFactors: map[consolidation.Resource]float64{
+				consolidation.CPU:    0.90,
+				consolidation.DiskIO: 0.75,
+			},
+		},
+	}
+}
+
+func main() {
+	fmt.Println("QoS sweep: loss target vs dedicated (M) and consolidated (N) servers")
+	fmt.Printf("%-8s %4s %4s %8s %8s %8s\n", "B", "M", "N", "saving", "util x", "power")
+	for _, b := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.10} {
+		m := &consolidation.Model{
+			Services:   services(),
+			LossTarget: b,
+		}
+		res, err := m.Solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8g %4d %4d %7.1f%% %8.2f %7.1f%%\n",
+			b, res.Dedicated.Servers, res.Consolidated.Servers,
+			(1-float64(res.Consolidated.Servers)/float64(res.Dedicated.Servers))*100,
+			res.UtilizationImprovement, res.PowerSaving*100)
+	}
+
+	// Detail at the paper's loss target.
+	m := &consolidation.Model{Services: services(), LossTarget: 0.05}
+	res, err := m.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDetailed plan at B = 0.05")
+	fmt.Println(res)
+	fmt.Println("\nPer-service dedicated sizing:")
+	for _, sp := range res.Dedicated.PerService {
+		fmt.Printf("  %-14s %2d servers, bottleneck %s\n", sp.Service, sp.Servers, sp.Bottleneck)
+	}
+
+	// How sensitive is the plan to the Eq. (5) reading? The harmonic
+	// (work-conserving) form is the conservative choice.
+	for _, form := range []consolidation.TrafficForm{
+		consolidation.TrafficEq5Restricted,
+		consolidation.TrafficHarmonic,
+	} {
+		m := &consolidation.Model{Services: services(), LossTarget: 0.05, Form: form}
+		res, err := m.Solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nform=%-15s M=%d N=%d", form, res.Dedicated.Servers, res.Consolidated.Servers)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,68 @@
+// Quickstart: size a two-service data center with the utility analytic
+// model — the smallest end-to-end use of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consolidation "repro"
+)
+
+func main() {
+	// Two Internet services, characterized exactly as the paper prescribes
+	// (Section III-B): mean Poisson arrival rate, mean serving rate of
+	// each resource on one dedicated server, and the virtualization impact
+	// factor per resource.
+	web := consolidation.Service{
+		Name:        "web",
+		ArrivalRate: 1280, // requests/s
+		ServingRates: map[consolidation.Resource]float64{
+			consolidation.DiskIO: 1420, // requests/s one server's disk sustains
+			consolidation.CPU:    3360,
+		},
+		ImpactFactors: map[consolidation.Resource]float64{
+			consolidation.DiskIO: 0.98, // Xen overhead on disk I/O
+			consolidation.CPU:    0.63, // Xen overhead on CPU
+		},
+	}
+	db := consolidation.Service{
+		Name:        "db",
+		ArrivalRate: 90, // Web interactions/s
+		ServingRates: map[consolidation.Resource]float64{
+			consolidation.CPU: 100,
+		},
+		// No impact factor: multi-VM DB hosting matches native here.
+	}
+
+	m := &consolidation.Model{
+		Services:   []consolidation.Service{web, db},
+		LossTarget: 0.05, // at most 5 % of requests may be lost
+	}
+
+	res, err := m.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== plan ==")
+	fmt.Println(res)
+
+	// The same Erlang machinery is available directly: how much traffic
+	// can 4 servers carry at 5 % loss?
+	rho, err := consolidation.ErlangTraffic(4, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n4 Erlang servers carry up to %.3f Erlangs at B <= 0.05\n", rho)
+
+	// And the Section III-B.4 bound: with the same number of servers,
+	// how much more goodput can consolidation-with-ideal-flowing deliver?
+	bound, err := m.AllocatorBound(res.Dedicated.Servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocator bound at M = N = %d: %.4fx goodput\n",
+		res.Dedicated.Servers, bound.ThroughputImprovement)
+}

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/desim"
+	"repro/internal/stats"
+)
+
+// request is one in-flight service request.
+type request struct {
+	service  int
+	host     *host
+	arrived  desim.Time
+	refs     []*jobRef
+	stations []*station
+	left     int  // stations still draining
+	counted  bool // arrived after warmup
+	client   int  // closed-loop client index, -1 for open loop
+	dead     bool // lost to host failure
+}
+
+// host is one physical server.
+type host struct {
+	id       int
+	services []int // indexes into cfg.Services hosted here
+	// stations[r] in flowing mode; vmStations[vmPos][r] in partitioned
+	// mode (vmPos indexes host.services).
+	stations   map[string]*station
+	vmStations []map[string]*station
+	inflight   int
+	up         bool
+	// capability reports the host's per-resource speed relative to the
+	// reference server; utilization fractions are normalized by it.
+	capability func(resource string) float64
+}
+
+// everyStation visits all stations of the host in sorted resource order,
+// keeping callers deterministic.
+func (h *host) everyStation(fn func(*station)) {
+	for _, res := range sortedKeys(h.stations) {
+		fn(h.stations[res])
+	}
+	for _, vm := range h.vmStations {
+		for _, res := range sortedKeys(vm) {
+			fn(vm[res])
+		}
+	}
+}
+
+func sortedKeys(m map[string]*station) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for k := i; k > 0 && keys[k] < keys[k-1]; k-- {
+			keys[k], keys[k-1] = keys[k-1], keys[k]
+		}
+	}
+	return keys
+}
+
+// runner holds the live simulation state.
+type runner struct {
+	cfg       *Config
+	sim       *desim.Simulator
+	root      *stats.Stream
+	hosts     []*host
+	byService [][]*host  // dispatch pools per service
+	rrNext    []int      // round-robin cursors per service
+	resources [][]string // per-service sorted demanded resources
+	demands   []*stats.Stream
+	thinks    []*stats.Stream
+	p95, p99  []*stats.P2Quantile // per-service response-time percentiles
+	res       *Result
+}
+
+// Run builds and executes the experiment, returning aggregated metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:  &cfg,
+		sim:  desim.New(),
+		root: stats.NewStream(cfg.Seed, fmt.Sprintf("cluster/%s", cfg.Mode)),
+	}
+	r.res = newResult(&cfg)
+	r.build()
+	r.startDrivers()
+	if cfg.MTBF > 0 {
+		r.startFailures()
+	}
+	r.sim.Run(cfg.Horizon)
+	r.finish()
+	return r.res, nil
+}
+
+// build creates hosts and stations.
+func (r *runner) build() {
+	cfg := r.cfg
+	r.byService = make([][]*host, len(cfg.Services))
+	r.rrNext = make([]int, len(cfg.Services))
+	r.demands = make([]*stats.Stream, len(cfg.Services))
+	r.thinks = make([]*stats.Stream, len(cfg.Services))
+	r.resources = make([][]string, len(cfg.Services))
+	r.p95 = make([]*stats.P2Quantile, len(cfg.Services))
+	r.p99 = make([]*stats.P2Quantile, len(cfg.Services))
+	for i := range cfg.Services {
+		r.p95[i] = stats.NewP2Quantile(0.95)
+		r.p99[i] = stats.NewP2Quantile(0.99)
+		r.demands[i] = r.root.Substream(fmt.Sprintf("demand/%d", i))
+		r.thinks[i] = r.root.Substream(fmt.Sprintf("think/%d", i))
+		// Map iteration order is randomized; sample demands in a fixed,
+		// sorted resource order so runs are seed-deterministic.
+		r.resources[i] = resourceSet(cfg.Services[i : i+1])
+	}
+
+	newHost := func(id int, services []int, capability func(string) float64) *host {
+		h := &host{id: id, services: services, up: true, capability: capability}
+		resources := resourceSet(pick(cfg.Services, services))
+		if cfg.Mode == Consolidated && cfg.Alloc != nil {
+			// Partitioned: one station per VM per resource.
+			shares := cfg.Alloc.Shares(make([]float64, len(services)))
+			h.vmStations = make([]map[string]*station, len(services))
+			for pos := range services {
+				h.vmStations[pos] = map[string]*station{}
+				for _, res := range resources {
+					cap := shares[pos] * (1 - cfg.Alloc.Overhead()) * capability(res)
+					name := fmt.Sprintf("h%d/vm%d/%s", id, pos, res)
+					h.vmStations[pos][res] = newStation(r.sim, name, cap, r.onStationDone)
+				}
+			}
+		} else {
+			// Flowing (or dedicated): one shared station per resource.
+			h.stations = map[string]*station{}
+			for _, res := range resources {
+				name := fmt.Sprintf("h%d/%s", id, res)
+				h.stations[res] = newStation(r.sim, name, capability(res), r.onStationDone)
+			}
+		}
+		return h
+	}
+	referenceHost := func(string) float64 { return 1 }
+
+	switch cfg.Mode {
+	case Dedicated:
+		id := 0
+		for svc := range cfg.Services {
+			for k := 0; k < cfg.Services[svc].DedicatedServers; k++ {
+				h := newHost(id, []int{svc}, referenceHost)
+				id++
+				r.hosts = append(r.hosts, h)
+				r.byService[svc] = append(r.byService[svc], h)
+			}
+		}
+	case Consolidated:
+		all := make([]int, len(cfg.Services))
+		for i := range all {
+			all[i] = i
+		}
+		addHost := func(id int, capability func(string) float64) {
+			h := newHost(id, all, capability)
+			r.hosts = append(r.hosts, h)
+			for svc := range cfg.Services {
+				r.byService[svc] = append(r.byService[svc], h)
+			}
+		}
+		if len(cfg.HostClasses) > 0 {
+			id := 0
+			for _, hc := range cfg.HostClasses {
+				hc := hc
+				for k := 0; k < hc.Count; k++ {
+					addHost(id, hc.capabilityOn)
+					id++
+				}
+			}
+		} else {
+			for k := 0; k < cfg.ConsolidatedServers; k++ {
+				addHost(k, referenceHost)
+			}
+		}
+	}
+
+	// Periodic Rainbow rebalancing.
+	if cfg.Mode == Consolidated && cfg.Alloc != nil && cfg.Alloc.Period() > 0 {
+		var tick func()
+		tick = func() {
+			for _, h := range r.hosts {
+				if !h.up || h.vmStations == nil {
+					continue
+				}
+				backlogs := make([]float64, len(h.vmStations))
+				for pos, vm := range h.vmStations {
+					for _, st := range vm {
+						st.advance()
+						for _, j := range st.jobs {
+							backlogs[pos] += j.remaining
+						}
+					}
+				}
+				shares := cfg.Alloc.Shares(backlogs)
+				for pos, vm := range h.vmStations {
+					for res, st := range vm {
+						st.setCapacity(shares[pos] * (1 - cfg.Alloc.Overhead()) * h.capability(res))
+					}
+				}
+			}
+			if r.sim.Now()+cfg.Alloc.Period() <= cfg.Horizon {
+				r.sim.After(cfg.Alloc.Period(), tick)
+			}
+		}
+		r.sim.After(cfg.Alloc.Period(), tick)
+	}
+}
+
+func pick(specs []ServiceSpec, idx []int) []ServiceSpec {
+	out := make([]ServiceSpec, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, specs[i])
+	}
+	return out
+}
+
+// startDrivers launches open-loop arrival streams and closed-loop clients.
+func (r *runner) startDrivers() {
+	for svc := range r.cfg.Services {
+		spec := &r.cfg.Services[svc]
+		if spec.Arrivals != nil {
+			svc := svc
+			arr := r.root.Substream(fmt.Sprintf("arrivals/%d", svc))
+			var loop func()
+			loop = func() {
+				r.dispatch(svc, -1)
+				gap := spec.Arrivals.Next(arr)
+				if r.sim.Now()+gap <= r.cfg.Horizon {
+					r.sim.After(gap, loop)
+				}
+			}
+			first := spec.Arrivals.Next(arr)
+			if first <= r.cfg.Horizon {
+				r.sim.At(first, loop)
+			}
+			continue
+		}
+		// Closed loop: stagger client starts uniformly over one think time.
+		for c := 0; c < spec.Clients; c++ {
+			svc, c := svc, c
+			start := r.thinkTime(svc) * r.thinks[svc].Float64()
+			if start > r.cfg.Horizon {
+				continue
+			}
+			r.sim.At(start, func() { r.dispatch(svc, c) })
+		}
+	}
+}
+
+// thinkTime samples a think time for service svc.
+func (r *runner) thinkTime(svc int) float64 {
+	spec := &r.cfg.Services[svc]
+	if spec.ThinkTime != nil {
+		return spec.ThinkTime.Sample(r.thinks[svc])
+	}
+	return r.thinks[svc].ExpFloat64() * 7 // TPC-W default mean think time
+}
+
+// clientThink schedules the next request of a closed-loop client.
+func (r *runner) clientThink(svc, client int) {
+	d := r.thinkTime(svc)
+	if r.sim.Now()+d <= r.cfg.Horizon {
+		r.sim.After(d, func() { r.dispatch(svc, client) })
+	}
+}
+
+// dispatch routes one request of service svc (client >= 0 for closed loop)
+// through the LVS round-robin dispatcher.
+func (r *runner) dispatch(svc, client int) {
+	now := r.sim.Now()
+	counted := now >= r.cfg.Warmup
+	sm := &r.res.Services[svc]
+	if counted {
+		sm.Arrivals++
+	}
+	h := r.pickHost(svc)
+	if h == nil || h.inflight >= r.cfg.admission() {
+		if counted {
+			sm.Lost++
+		}
+		if client >= 0 {
+			r.clientThink(svc, client)
+		}
+		return
+	}
+	req := &request{
+		service: svc,
+		host:    h,
+		arrived: now,
+		counted: counted,
+		client:  client,
+	}
+	r.admit(req)
+}
+
+// pickHost advances the service's round-robin cursor to the next live host.
+func (r *runner) pickHost(svc int) *host {
+	pool := r.byService[svc]
+	if len(pool) == 0 {
+		return nil
+	}
+	for k := 0; k < len(pool); k++ {
+		h := pool[r.rrNext[svc]%len(pool)]
+		r.rrNext[svc]++
+		if h.up {
+			return h
+		}
+	}
+	return nil
+}
+
+// admit deposits the request's work on its host's stations.
+func (r *runner) admit(req *request) {
+	cfg := r.cfg
+	spec := &cfg.Services[req.service]
+	h := req.host
+	h.inflight++
+
+	// Which station set serves this request?
+	vmPos := -1
+	if h.vmStations != nil {
+		for pos, s := range h.services {
+			if s == req.service {
+				vmPos = pos
+				break
+			}
+		}
+	}
+
+	for _, res := range r.resources[req.service] {
+		dist := spec.Profile.Demands[res]
+		hwRate := spec.Profile.ServingRate(res)
+		if math.IsInf(hwRate, 1) {
+			continue
+		}
+		natRate := nativeRate(spec.Profile, res)
+		// Sample a hardware-speed demand and rescale to native speed.
+		work := dist.Sample(r.demands[req.service]) * hwRate / natRate
+		if cfg.Mode == Consolidated {
+			v := activeVMs(cfg.Services, h.services, res)
+			factor, err := spec.Overhead.RawFactor(res, v)
+			if err == nil && factor > 0 {
+				work /= factor
+			}
+		}
+		var st *station
+		if vmPos >= 0 {
+			st = h.vmStations[vmPos][res]
+		} else {
+			st = h.stations[res]
+		}
+		if st == nil {
+			continue
+		}
+		req.stations = append(req.stations, st)
+		req.refs = append(req.refs, st.add(req, work))
+		req.left++
+	}
+	if req.left == 0 {
+		// Degenerate profile with no finite demands: complete immediately.
+		r.completeRequest(req)
+	}
+}
+
+// onStationDone fires when one station finishes a request's work there.
+func (r *runner) onStationDone(req *request, _ *station) {
+	if req.dead {
+		return
+	}
+	req.left--
+	if req.left == 0 {
+		r.completeRequest(req)
+	}
+}
+
+func (r *runner) completeRequest(req *request) {
+	req.host.inflight--
+	sm := &r.res.Services[req.service]
+	if req.counted && r.sim.Now() >= r.cfg.Warmup {
+		sm.Served++
+		rt := r.sim.Now() - req.arrived
+		sm.ResponseTimes.Add(rt)
+		r.p95[req.service].Add(rt)
+		r.p99[req.service].Add(rt)
+	}
+	if req.client >= 0 {
+		r.clientThink(req.service, req.client)
+	}
+}
+
+// startFailures arms the host failure/repair processes.
+func (r *runner) startFailures() {
+	for _, h := range r.hosts {
+		h := h
+		fs := r.root.Substream(fmt.Sprintf("failures/%d", h.id))
+		var fail, repair func()
+		fail = func() {
+			h.up = false
+			r.res.Failures++
+			// Lose all in-flight requests on this host, in a deterministic
+			// order (map iteration would perturb the think-time stream).
+			seen := map[*request]bool{}
+			var victims []*request
+			h.everyStation(func(st *station) {
+				for _, req := range st.clear() {
+					if !seen[req] {
+						seen[req] = true
+						victims = append(victims, req)
+					}
+				}
+			})
+			for _, req := range victims {
+				req.dead = true
+				h.inflight--
+				if req.counted && r.sim.Now() >= r.cfg.Warmup {
+					r.res.Services[req.service].Lost++
+				}
+				if req.client >= 0 {
+					r.clientThink(req.service, req.client)
+				}
+			}
+			d := fs.ExpFloat64() * r.cfg.MTTR
+			if r.sim.Now()+d <= r.cfg.Horizon {
+				r.sim.After(d, repair)
+			}
+		}
+		repair = func() {
+			h.up = true
+			d := fs.ExpFloat64() * r.cfg.MTBF
+			if r.sim.Now()+d <= r.cfg.Horizon {
+				r.sim.After(d, fail)
+			}
+		}
+		d := fs.ExpFloat64() * r.cfg.MTBF
+		if d <= r.cfg.Horizon {
+			r.sim.After(d, fail)
+		}
+	}
+}
+
+// finish closes statistics at the horizon.
+func (r *runner) finish() {
+	now := r.cfg.Horizon
+	window := r.cfg.Horizon - r.cfg.Warmup
+	for i := range r.res.Services {
+		sm := &r.res.Services[i]
+		if sm.Arrivals > 0 {
+			sm.LossProb = float64(sm.Lost) / float64(sm.Arrivals)
+		}
+		if window > 0 {
+			sm.Throughput = float64(sm.Served) / window
+		}
+		if v := r.p95[i].Value(); !math.IsNaN(v) {
+			sm.RespP95 = v
+		}
+		if v := r.p99[i].Value(); !math.IsNaN(v) {
+			sm.RespP99 = v
+		}
+	}
+	for _, h := range r.hosts {
+		hm := HostMetrics{ID: h.id, Utilization: map[string]float64{}}
+		collect := func(st *station, res string) {
+			st.advance()
+			// Delivered work normalized by the host's full capacity on
+			// the resource: a fraction of the machine kept busy.
+			u := st.workDone / (now * h.capability(res))
+			hm.Utilization[res] += u
+		}
+		for res, st := range h.stations {
+			collect(st, res)
+		}
+		for _, vm := range h.vmStations {
+			for res, st := range vm {
+				collect(st, res)
+			}
+		}
+		for res, u := range hm.Utilization {
+			if u > 1 {
+				hm.Utilization[res] = 1
+			}
+			if hm.Utilization[res] > hm.Bottleneck {
+				hm.Bottleneck = hm.Utilization[res]
+			}
+			_ = res
+		}
+		r.res.Hosts = append(r.res.Hosts, hm)
+	}
+	r.res.Window = window
+}

@@ -1,0 +1,187 @@
+// Package cluster simulates the paper's testbed: pools of physical servers
+// hosting Internet services either on dedicated native-Linux machines or
+// consolidated onto Xen hosts as one VM per service, with LVS-style
+// round-robin request dispatch, per-resource processor-sharing contention,
+// virtualization overhead from the internal/virt curves, optional on-demand
+// resource flowing between VMs (Rainbow), closed- and open-loop load
+// generation, admission-control losses, host failure injection, and power
+// metering hooks.
+//
+// The physical model: every host owns one station per resource type. A
+// station is a processor-sharing server of capacity 1 work-unit/second; a
+// request deposits, on each resource it touches, an amount of work equal to
+// its sampled native demand divided by the virtualization impact factor for
+// its service on that resource (consolidated hosts only). Work drains at
+// capacity/k when k jobs share the station. A request finishes when its
+// work on every station has drained; its response time is the makespan.
+// Saturation, contention knees, response-time explosions and loss behaviour
+// all emerge from this shared-capacity physics.
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/desim"
+)
+
+// jobRef tracks one request's work on one station.
+type jobRef struct {
+	req       *request
+	remaining float64 // work units left
+}
+
+// station is a processor-sharing resource server.
+type station struct {
+	name     string
+	capacity float64 // work units per second when any job present
+	jobs     []*jobRef
+
+	sim        *desim.Simulator
+	lastUpdate desim.Time
+	busy       desim.TimeAverage // 0/1 busy indicator
+	workDone   float64
+
+	pending desim.Handle // the station's next-completion event
+	onDone  func(*request, *station)
+}
+
+func newStation(sim *desim.Simulator, name string, capacity float64, onDone func(*request, *station)) *station {
+	st := &station{
+		name:     name,
+		capacity: capacity,
+		sim:      sim,
+		onDone:   onDone,
+	}
+	st.busy.Set(sim.Now(), 0)
+	st.lastUpdate = sim.Now()
+	return st
+}
+
+// drainRate reports the per-job drain rate with the current occupancy.
+func (st *station) drainRate() float64 {
+	k := len(st.jobs)
+	if k == 0 {
+		return 0
+	}
+	return st.capacity / float64(k)
+}
+
+// advance drains work for the elapsed time since the last update.
+func (st *station) advance() {
+	now := st.sim.Now()
+	dt := now - st.lastUpdate
+	st.lastUpdate = now
+	if dt <= 0 || len(st.jobs) == 0 {
+		return
+	}
+	rate := st.drainRate()
+	drained := rate * dt
+	for _, j := range st.jobs {
+		j.remaining -= drained
+		if j.remaining < 0 {
+			j.remaining = 0
+		}
+	}
+	st.workDone += st.capacity * dt
+}
+
+// setCapacity changes the station's capacity (resource flowing / Rainbow
+// rebalancing), draining work at the old rate first.
+func (st *station) setCapacity(c float64) {
+	st.advance()
+	if c < 0 {
+		c = 0
+	}
+	st.capacity = c
+	st.reschedule()
+}
+
+// add deposits work for req and returns the job reference.
+func (st *station) add(req *request, work float64) *jobRef {
+	st.advance()
+	j := &jobRef{req: req, remaining: math.Max(work, 0)}
+	st.jobs = append(st.jobs, j)
+	st.busy.Set(st.sim.Now(), 1)
+	st.reschedule()
+	return j
+}
+
+// remove takes a job off the station (request abandoned or host failed).
+func (st *station) remove(j *jobRef) {
+	st.advance()
+	for i, cur := range st.jobs {
+		if cur == j {
+			st.jobs[i] = st.jobs[len(st.jobs)-1]
+			st.jobs = st.jobs[:len(st.jobs)-1]
+			break
+		}
+	}
+	if len(st.jobs) == 0 {
+		st.busy.Set(st.sim.Now(), 0)
+	}
+	st.reschedule()
+}
+
+// reschedule recomputes the station's next completion event.
+func (st *station) reschedule() {
+	if st.pending.Pending() {
+		st.pending.Cancel()
+	}
+	if len(st.jobs) == 0 || st.capacity <= 0 {
+		return
+	}
+	minRemaining := math.Inf(1)
+	for _, j := range st.jobs {
+		if j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	eta := minRemaining / st.drainRate()
+	st.pending = st.sim.After(eta, st.complete)
+}
+
+// complete fires when the earliest job's work hits zero.
+func (st *station) complete() {
+	st.advance()
+	// Collect every job whose work has drained (ties possible).
+	var done []*jobRef
+	kept := st.jobs[:0]
+	for _, j := range st.jobs {
+		if j.remaining <= 1e-12 {
+			done = append(done, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	st.jobs = kept
+	if len(st.jobs) == 0 {
+		st.busy.Set(st.sim.Now(), 0)
+	}
+	st.reschedule()
+	for _, j := range done {
+		st.onDone(j.req, st)
+	}
+}
+
+// utilization reports the station's busy fraction over [warmup, now].
+func (st *station) utilization(now desim.Time) float64 {
+	st.busy.Finish(now)
+	u := st.busy.Average()
+	if math.IsNaN(u) {
+		return 0
+	}
+	return u
+}
+
+// clear drops all jobs (host failure) and returns the affected requests.
+func (st *station) clear() []*request {
+	st.advance()
+	var reqs []*request
+	for _, j := range st.jobs {
+		reqs = append(reqs, j.req)
+	}
+	st.jobs = nil
+	st.busy.Set(st.sim.Now(), 0)
+	st.reschedule()
+	return reqs
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bound is the output of the Section III-B.4 planning applications: with
+// the dedicated and consolidated deployments forced to the same size
+// (M = N), the ratio of delivered throughput fractions (1−B) bounds what
+// any runtime mechanism can achieve.
+type Bound struct {
+	// Servers is the common deployment size the bound was evaluated at.
+	Servers int
+
+	// DedicatedLoss and ConsolidatedLoss are the model's request-loss
+	// probabilities at that size.
+	DedicatedLoss    float64
+	ConsolidatedLoss float64
+
+	// ThroughputImprovement is (1−B_consolidated)/(1−B_dedicated) — the
+	// paper's "ratio of (1−B)". Values above 1 mean consolidation (with
+	// ideal on-demand resource flowing) can deliver that much more
+	// goodput than dedicated hosting on the same hardware.
+	ThroughputImprovement float64
+}
+
+func (b Bound) String() string {
+	return fmt.Sprintf("servers=%d B_ded=%.4g B_cons=%.4g improvement=%.4f",
+		b.Servers, b.DedicatedLoss, b.ConsolidatedLoss, b.ThroughputImprovement)
+}
+
+// AllocatorBound evaluates application (1) of Section III-B.4: with M = N =
+// servers, the ratio of (1−B) in the consolidated deployment to that in the
+// dedicated deployment. It is the optimal improvement in QoS (throughput)
+// that *any* on-demand resource-allocation algorithm can provide, because
+// the model's "servers serve on demand" assumption is exactly the ideal
+// resource-flowing limit. A real algorithm's measured improvement can be
+// scored against this bound: the closer, the better the algorithm.
+//
+// The consolidated loss is computed under the model's Form; impact
+// factors apply (the algorithm cannot undo virtualization overhead).
+func (m *Model) AllocatorBound(servers int) (Bound, error) {
+	return m.bound(servers, false)
+}
+
+// VirtualizationBound evaluates application (2) of Section III-B.4: the
+// same M = N comparison with every impact factor forced to 1, bounding the
+// QoS improvement an ideal zero-overhead virtualization product could
+// deliver over dedicated native-Linux servers.
+func (m *Model) VirtualizationBound(servers int) (Bound, error) {
+	return m.bound(servers, true)
+}
+
+func (m *Model) bound(servers int, idealVirt bool) (Bound, error) {
+	if err := m.Validate(); err != nil {
+		return Bound{}, err
+	}
+	if servers <= 0 {
+		return Bound{}, fmt.Errorf("%w: bound requires positive server count, got %d", ErrInvalidModel, servers)
+	}
+	target := m
+	if idealVirt {
+		clone := *m
+		clone.Services = make([]Service, len(m.Services))
+		for i, s := range m.Services {
+			cs := s
+			cs.ImpactFactors = nil // defaults to 1 everywhere
+			clone.Services[i] = cs
+		}
+		target = &clone
+	}
+	ded, err := m.LossAtServers(servers, true, m.Form)
+	if err != nil {
+		return Bound{}, err
+	}
+	cons, err := target.LossAtServers(servers, false, m.Form)
+	if err != nil {
+		return Bound{}, err
+	}
+	b := Bound{Servers: servers, DedicatedLoss: ded, ConsolidatedLoss: cons}
+	if ded < 1 {
+		b.ThroughputImprovement = (1 - cons) / (1 - ded)
+	} else {
+		b.ThroughputImprovement = math.Inf(1)
+	}
+	return b, nil
+}
+
+// ScoreAllocator grades a measured allocator the way Section III-B.4
+// prescribes: given the goodput improvement an allocation algorithm
+// actually achieved at M = N = servers (measured (1−B_cons)/(1−B_ded)),
+// it reports the fraction of the model's optimal bound the algorithm
+// realizes, in [0, 1] (capped). 1 means the algorithm matches ideal
+// on-demand resource flowing.
+func (m *Model) ScoreAllocator(servers int, measuredImprovement float64) (float64, error) {
+	bound, err := m.AllocatorBound(servers)
+	if err != nil {
+		return 0, err
+	}
+	if bound.ThroughputImprovement <= 0 || math.IsInf(bound.ThroughputImprovement, 1) {
+		return 0, fmt.Errorf("core: degenerate allocator bound %v", bound)
+	}
+	// Both improvements are ratios >= ~0; normalize the *gain* over 1.0
+	// when the bound exceeds 1 (a do-nothing allocator has improvement 1
+	// and gain 0), else fall back to the raw ratio.
+	if bound.ThroughputImprovement > 1 {
+		gain := measuredImprovement - 1
+		if gain < 0 {
+			gain = 0
+		}
+		score := gain / (bound.ThroughputImprovement - 1)
+		if score > 1 {
+			score = 1
+		}
+		return score, nil
+	}
+	score := measuredImprovement / bound.ThroughputImprovement
+	if score > 1 {
+		score = 1
+	}
+	if score < 0 {
+		score = 0
+	}
+	return score, nil
+}

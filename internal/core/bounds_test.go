@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorBoundImproves(t *testing.T) {
+	// At M = N = 6 with group-1 traffic, ideal resource flowing should
+	// lose strictly fewer requests than static dedication: pooled Erlang
+	// servers beat partitioned ones.
+	base := caseStudyModel(1, 1, 0.05)
+	m, err := base.WithIntensiveWorkloads([]int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AllocatorBound(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Servers != 6 {
+		t.Fatalf("bound servers = %d", b.Servers)
+	}
+	if b.ConsolidatedLoss >= b.DedicatedLoss {
+		t.Fatalf("consolidation did not improve: %+v", b)
+	}
+	if b.ThroughputImprovement <= 1 {
+		t.Fatalf("improvement = %g, want > 1", b.ThroughputImprovement)
+	}
+	if b.String() == "" {
+		t.Fatal("empty bound string")
+	}
+}
+
+func TestVirtualizationBoundBeatsAllocatorBound(t *testing.T) {
+	// Removing virtualization overhead can only help, so the
+	// ideal-virtualization bound dominates the allocator bound.
+	base := caseStudyModel(1, 1, 0.05)
+	m, err := base.WithIntensiveWorkloads([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := m.AllocatorBound(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := m.VirtualizationBound(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.ConsolidatedLoss > ab.ConsolidatedLoss+1e-12 {
+		t.Fatalf("ideal virtualization lost more: %g vs %g",
+			vb.ConsolidatedLoss, ab.ConsolidatedLoss)
+	}
+	if vb.ThroughputImprovement < ab.ThroughputImprovement-1e-12 {
+		t.Fatalf("vb %g < ab %g", vb.ThroughputImprovement, ab.ThroughputImprovement)
+	}
+	// The virtualization bound must not mutate the original model.
+	if m.Services[0].ImpactFactors[DiskIO] != 0.98 {
+		t.Fatal("VirtualizationBound mutated the model")
+	}
+}
+
+func TestBoundErrors(t *testing.T) {
+	m := caseStudyModel(100, 10, 0.05)
+	if _, err := m.AllocatorBound(0); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+	bad := &Model{}
+	if _, err := bad.AllocatorBound(4); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestScoreAllocator(t *testing.T) {
+	base := caseStudyModel(1, 1, 0.05)
+	m, err := base.WithIntensiveWorkloads([]int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := m.AllocatorBound(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An allocator achieving the bound exactly scores 1.
+	s, err := m.ScoreAllocator(6, bound.ThroughputImprovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("perfect allocator scored %g", s)
+	}
+	// A do-nothing allocator (improvement 1.0) scores 0.
+	s, err = m.ScoreAllocator(6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("null allocator scored %g", s)
+	}
+	// Halfway.
+	mid := 1 + (bound.ThroughputImprovement-1)/2
+	s, err = m.ScoreAllocator(6, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.5) > 1e-9 {
+		t.Fatalf("halfway allocator scored %g", s)
+	}
+	// Better than the bound caps at 1.
+	s, err = m.ScoreAllocator(6, bound.ThroughputImprovement*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Fatalf("super-bound allocator scored %g", s)
+	}
+}
+
+// Property: the bound's losses are valid probabilities and the improvement
+// is finite and positive for sane inputs.
+func TestBoundSanityProperty(t *testing.T) {
+	f := func(lw, ld uint16, srv uint8) bool {
+		m := caseStudyModel(float64(lw%4000)+50, float64(ld%300)+5, 0.05)
+		servers := int(srv)%12 + 2
+		b, err := m.AllocatorBound(servers)
+		if err != nil {
+			return false
+		}
+		if b.DedicatedLoss < 0 || b.DedicatedLoss > 1 {
+			return false
+		}
+		if b.ConsolidatedLoss < 0 || b.ConsolidatedLoss > 1 {
+			return false
+		}
+		return b.ThroughputImprovement > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/erlang"
+)
+
+// This file implements the paper's stated future work (Sections IV-D and
+// V): "expanding the utility analytic model to fit data centers with
+// heterogeneous servers". The paper already sketches the mechanism — "all
+// the heterogeneous servers can be normalized to the homogeneous servers.
+// For example, CPU of a server which has two 2.0GHz Quad-Core processors
+// can be normalized to 1, then CPU of a server which has one 2.0GHz
+// Quad-Core processor can be normalized to 0.5" — and its Discussion
+// section motivates it with the measured ~20 % throughput gap between the
+// AMD and Intel servers of its own testbed.
+//
+// The extension: servers come in classes, each with a per-resource
+// capability relative to the reference server the model's μ values were
+// measured on. Sizing proceeds in two steps:
+//
+//  1. the Erlang step sizes the pool in *reference-server units* exactly as
+//     the homogeneous model does (Fig. 4), then
+//  2. a packing step covers those units with physical machines from the
+//     available classes, minimizing either machine count or power draw.
+//
+// The normalization is an approximation — a loss system with unequal
+// server rates is not exactly an Erlang pool of fractional servers — and
+// the test suite quantifies the gap against simulation.
+
+// ServerClass describes one hardware class in a heterogeneous data center.
+type ServerClass struct {
+	// Name identifies the class ("amd-2350", "intel-5140", ...).
+	Name string
+
+	// Count is how many machines of this class are available; 0 means
+	// unlimited.
+	Count int
+
+	// Capability maps each resource to this class's speed relative to the
+	// reference server (the one the model's serving rates were measured
+	// on). A resource absent from the map defaults to 1. The paper's
+	// Discussion example: the AMD server runs the e-book DB workload ~20 %
+	// faster than the Intel one, so with AMD as reference the Intel class
+	// has Capability[CPU] ≈ 0.83.
+	Capability map[Resource]float64
+
+	// Power is the class's power model; the zero value means the model's
+	// default.
+	Power PowerParams
+}
+
+// capabilityOn reports the class's capability on resource j (default 1).
+func (c ServerClass) capabilityOn(j Resource) float64 {
+	v, ok := c.Capability[j]
+	if !ok {
+		return 1
+	}
+	return v
+}
+
+// effectiveCapability reports the class's binding capability across the
+// given resources: the minimum, since a machine must keep up on every
+// resource it serves.
+func (c ServerClass) effectiveCapability(resources []Resource) float64 {
+	min := math.Inf(1)
+	for _, j := range resources {
+		if v := c.capabilityOn(j); v < min {
+			min = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 1
+	}
+	return min
+}
+
+// Validate checks the class.
+func (c ServerClass) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: server class has no name", ErrInvalidModel)
+	}
+	if c.Count < 0 {
+		return fmt.Errorf("%w: class %q count %d", ErrInvalidModel, c.Name, c.Count)
+	}
+	for j, v := range c.Capability {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: class %q capability[%s] = %g", ErrInvalidModel, c.Name, j, v)
+		}
+	}
+	return c.power().Validate()
+}
+
+func (c ServerClass) power() PowerParams {
+	if c.Power == (PowerParams{}) {
+		return DefaultPower
+	}
+	return c.Power
+}
+
+// PackObjective selects what the heterogeneous packing minimizes.
+type PackObjective int
+
+const (
+	// MinMachines minimizes the number of physical machines.
+	MinMachines PackObjective = iota
+	// MinPower minimizes the summed idle power draw of the chosen
+	// machines (the dominant term, since idle draw exceeds half of peak).
+	MinPower
+)
+
+func (o PackObjective) String() string {
+	if o == MinPower {
+		return "min-power"
+	}
+	return "min-machines"
+}
+
+// HeterogeneousPlan is the outcome of covering an Erlang-sized pool with
+// machines from heterogeneous classes.
+type HeterogeneousPlan struct {
+	// ReferenceServers is the Erlang sizing in reference-server units (the
+	// homogeneous model's N or a service's n).
+	ReferenceServers int
+
+	// Allocation maps class name to machines used.
+	Allocation map[string]int
+
+	// Machines is the total physical machine count.
+	Machines int
+
+	// CapabilityUnits is the summed effective capability of the chosen
+	// machines (>= ReferenceServers).
+	CapabilityUnits float64
+
+	// IdlePower and PeakPower are the summed per-class power draws of the
+	// chosen machines, in watts.
+	IdlePower float64
+	PeakPower float64
+
+	// Objective echoes the packing objective.
+	Objective PackObjective
+}
+
+func (p *HeterogeneousPlan) String() string {
+	names := make([]string, 0, len(p.Allocation))
+	for n := range p.Allocation {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("%d reference units -> %d machines (", p.ReferenceServers, p.Machines)
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%dx %s", p.Allocation[n], n)
+	}
+	return s + ")"
+}
+
+// ErrInsufficientCapacity reports that the available classes cannot cover
+// the required capability.
+var ErrInsufficientCapacity = fmt.Errorf("%w: insufficient heterogeneous capacity", ErrInvalidModel)
+
+// PackServers covers requiredUnits reference-server units with machines
+// from the given classes under the objective, greedily taking the most
+// efficient class first (capability per machine for MinMachines,
+// capability per idle watt for MinPower). The greedy cover is within one
+// machine of optimal for MinMachines with unlimited counts and is the
+// standard practical heuristic otherwise.
+func PackServers(requiredUnits int, resources []Resource, classes []ServerClass, objective PackObjective) (*HeterogeneousPlan, error) {
+	if requiredUnits < 0 {
+		return nil, fmt.Errorf("%w: required units %d", ErrInvalidModel, requiredUnits)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("%w: no server classes", ErrInvalidModel)
+	}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	type scored struct {
+		class ServerClass
+		cap   float64
+		score float64 // higher = take first
+	}
+	scoredClasses := make([]scored, 0, len(classes))
+	for _, c := range classes {
+		cap := c.effectiveCapability(resources)
+		score := cap
+		if objective == MinPower {
+			score = cap / c.power().Base
+		}
+		scoredClasses = append(scoredClasses, scored{class: c, cap: cap, score: score})
+	}
+	sort.SliceStable(scoredClasses, func(a, b int) bool {
+		return scoredClasses[a].score > scoredClasses[b].score
+	})
+
+	plan := &HeterogeneousPlan{
+		ReferenceServers: requiredUnits,
+		Allocation:       map[string]int{},
+		Objective:        objective,
+	}
+	remaining := float64(requiredUnits)
+	for _, sc := range scoredClasses {
+		if remaining <= 0 {
+			break
+		}
+		avail := sc.class.Count
+		unlimited := avail == 0
+		need := int(math.Ceil(remaining / sc.cap))
+		take := need
+		if !unlimited && take > avail {
+			take = avail
+		}
+		if take == 0 {
+			continue
+		}
+		plan.Allocation[sc.class.Name] += take
+		plan.Machines += take
+		plan.CapabilityUnits += float64(take) * sc.cap
+		plan.IdlePower += float64(take) * sc.class.power().Base
+		plan.PeakPower += float64(take) * sc.class.power().Max
+		remaining -= float64(take) * sc.cap
+	}
+	if remaining > 1e-9 {
+		return nil, fmt.Errorf("%w: %g reference units uncovered", ErrInsufficientCapacity, remaining)
+	}
+	return plan, nil
+}
+
+// HeterogeneousResult extends the homogeneous Result with physical-machine
+// packings for both deployments.
+type HeterogeneousResult struct {
+	Homogeneous *Result
+
+	// Dedicated covers each service's pool separately (machines cannot be
+	// shared across services in the dedicated deployment); Consolidated
+	// covers the shared pool.
+	Dedicated    *HeterogeneousPlan
+	PerService   map[string]*HeterogeneousPlan
+	Consolidated *HeterogeneousPlan
+
+	// MachineRatio is dedicated machines / consolidated machines — the
+	// heterogeneous analogue of M/N.
+	MachineRatio float64
+}
+
+// SolveHeterogeneous runs the homogeneous model and then packs both
+// deployments onto the available server classes. The same classes are
+// offered to both deployments; Count limits apply to each deployment
+// independently (the comparison asks "how many machines would each design
+// buy", not "can both coexist").
+func (m *Model) SolveHeterogeneous(classes []ServerClass, objective PackObjective) (*HeterogeneousResult, error) {
+	res, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	resources := m.resources()
+	out := &HeterogeneousResult{
+		Homogeneous: res,
+		PerService:  map[string]*HeterogeneousPlan{},
+	}
+
+	total := &HeterogeneousPlan{Allocation: map[string]int{}, Objective: objective}
+	for _, sp := range res.Dedicated.PerService {
+		// Each service only binds on the resources it demands.
+		var svcResources []Resource
+		for _, svc := range m.Services {
+			if svc.Name != sp.Service {
+				continue
+			}
+			for _, j := range resources {
+				if svc.demandsResource(j) {
+					svcResources = append(svcResources, j)
+				}
+			}
+		}
+		p, err := PackServers(sp.Servers, svcResources, classes, objective)
+		if err != nil {
+			return nil, fmt.Errorf("core: packing service %q: %w", sp.Service, err)
+		}
+		out.PerService[sp.Service] = p
+		total.ReferenceServers += p.ReferenceServers
+		total.Machines += p.Machines
+		total.CapabilityUnits += p.CapabilityUnits
+		total.IdlePower += p.IdlePower
+		total.PeakPower += p.PeakPower
+		for name, n := range p.Allocation {
+			total.Allocation[name] += n
+		}
+	}
+	out.Dedicated = total
+
+	cons, err := PackServers(res.Consolidated.Servers, resources, classes, objective)
+	if err != nil {
+		return nil, fmt.Errorf("core: packing consolidated pool: %w", err)
+	}
+	out.Consolidated = cons
+	if cons.Machines > 0 {
+		out.MachineRatio = float64(total.Machines) / float64(cons.Machines)
+	}
+	return out, nil
+}
+
+// HeterogeneousLoss approximates the loss probability of a heterogeneous
+// pool serving the consolidated workload: the pool's summed effective
+// capability (in reference-server units) is treated as a fractional Erlang
+// server count, evaluated with the continuous Erlang B extension
+// (erlang.BContinuous). The approximation is exact at integer capability
+// sums and interpolates smoothly between them; the simulation test suite
+// bounds the pooling approximation's error elsewhere.
+func (m *Model) HeterogeneousLoss(classes []ServerClass, allocation map[string]int, form TrafficForm) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	resources := m.resources()
+	units := 0.0
+	for _, c := range classes {
+		n := allocation[c.Name]
+		if n < 0 {
+			return 0, fmt.Errorf("%w: negative allocation for %q", ErrInvalidModel, c.Name)
+		}
+		units += float64(n) * c.effectiveCapability(resources)
+	}
+	worst := 0.0
+	for _, j := range resources {
+		rho := m.ConsolidatedTraffic(j, form)
+		b, err := erlang.BContinuous(units, rho)
+		if err != nil {
+			return 0, err
+		}
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst, nil
+}

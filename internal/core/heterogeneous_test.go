@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// amdIntelClasses models the paper's own Discussion observation: the AMD
+// server runs the e-book DB workload ~20 % faster than the Intel one. With
+// AMD as the reference, Intel's CPU capability is 1/1.2 ≈ 0.83.
+func amdIntelClasses(amd, intel int) []ServerClass {
+	return []ServerClass{
+		{
+			Name:  "amd-2350",
+			Count: amd,
+			// Reference class: capability 1 everywhere.
+		},
+		{
+			Name:       "intel-5140",
+			Count:      intel,
+			Capability: map[Resource]float64{CPU: 1 / 1.2},
+			Power:      PowerParams{Base: 230, Max: 310},
+		},
+	}
+}
+
+func TestServerClassValidate(t *testing.T) {
+	good := amdIntelClasses(2, 2)[1]
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ServerClass{
+		{Name: ""},
+		{Name: "x", Count: -1},
+		{Name: "x", Capability: map[Resource]float64{CPU: 0}},
+		{Name: "x", Capability: map[Resource]float64{CPU: math.NaN()}},
+		{Name: "x", Power: PowerParams{Base: 10, Max: 5}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("bad class %d accepted", i)
+		}
+	}
+}
+
+func TestEffectiveCapability(t *testing.T) {
+	c := ServerClass{Name: "x", Capability: map[Resource]float64{CPU: 0.8, DiskIO: 1.2}}
+	if got := c.effectiveCapability([]Resource{CPU, DiskIO}); got != 0.8 {
+		t.Fatalf("effective = %g, want min", got)
+	}
+	if got := c.effectiveCapability([]Resource{DiskIO}); got != 1.2 {
+		t.Fatalf("effective = %g", got)
+	}
+	// Unspecified resources default to 1.
+	if got := c.effectiveCapability([]Resource{Memory}); got != 1 {
+		t.Fatalf("default = %g", got)
+	}
+	// Empty resource list defaults to 1.
+	if got := c.effectiveCapability(nil); got != 1 {
+		t.Fatalf("empty = %g", got)
+	}
+}
+
+func TestPackServersMinMachines(t *testing.T) {
+	classes := []ServerClass{
+		{Name: "big", Count: 2, Capability: map[Resource]float64{CPU: 2}},
+		{Name: "small", Count: 0, Capability: map[Resource]float64{CPU: 0.5}},
+	}
+	plan, err := PackServers(5, []Resource{CPU}, classes, MinMachines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy: 2 big (4 units) + 2 small (1 unit) = 5 units, 4 machines.
+	if plan.Allocation["big"] != 2 || plan.Allocation["small"] != 2 {
+		t.Fatalf("allocation %v", plan.Allocation)
+	}
+	if plan.Machines != 4 || plan.CapabilityUnits != 5 {
+		t.Fatalf("machines=%d units=%g", plan.Machines, plan.CapabilityUnits)
+	}
+	if plan.String() == "" {
+		t.Fatal("empty plan string")
+	}
+}
+
+func TestPackServersMinPower(t *testing.T) {
+	classes := []ServerClass{
+		// Fast but power-hungry.
+		{Name: "hot", Capability: map[Resource]float64{CPU: 2}, Power: PowerParams{Base: 600, Max: 700}},
+		// Slower but far more efficient per watt: 1/200 > 2/600.
+		{Name: "cool", Capability: map[Resource]float64{CPU: 1}, Power: PowerParams{Base: 200, Max: 280}},
+	}
+	plan, err := PackServers(4, []Resource{CPU}, classes, MinPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Allocation["cool"] != 4 || plan.Allocation["hot"] != 0 {
+		t.Fatalf("min-power allocation %v", plan.Allocation)
+	}
+	if plan.IdlePower != 800 {
+		t.Fatalf("idle power %g", plan.IdlePower)
+	}
+	// MinMachines prefers the fast class.
+	plan2, err := PackServers(4, []Resource{CPU}, classes, MinMachines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Allocation["hot"] != 2 {
+		t.Fatalf("min-machines allocation %v", plan2.Allocation)
+	}
+	if MinMachines.String() == MinPower.String() {
+		t.Fatal("objective names collide")
+	}
+}
+
+func TestPackServersInsufficient(t *testing.T) {
+	classes := []ServerClass{{Name: "only", Count: 2}}
+	if _, err := PackServers(5, []Resource{CPU}, classes, MinMachines); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatal("insufficient capacity accepted")
+	}
+}
+
+func TestPackServersErrors(t *testing.T) {
+	if _, err := PackServers(-1, nil, amdIntelClasses(1, 1), MinMachines); err == nil {
+		t.Fatal("negative units accepted")
+	}
+	if _, err := PackServers(1, nil, nil, MinMachines); err == nil {
+		t.Fatal("no classes accepted")
+	}
+	if _, err := PackServers(1, nil, []ServerClass{{}}, MinMachines); err == nil {
+		t.Fatal("invalid class accepted")
+	}
+	// Zero units is a valid empty plan.
+	plan, err := PackServers(0, nil, amdIntelClasses(1, 1), MinMachines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Machines != 0 {
+		t.Fatalf("zero-unit plan used %d machines", plan.Machines)
+	}
+}
+
+func TestSolveHeterogeneousCaseStudy(t *testing.T) {
+	base := caseStudyModel(1, 1, 0.05)
+	m, err := base.WithIntensiveWorkloads([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-reference classes reproduce the homogeneous result exactly.
+	res, err := m.SolveHeterogeneous([]ServerClass{{Name: "ref"}}, MinMachines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dedicated.Machines != res.Homogeneous.Dedicated.Servers {
+		t.Fatalf("dedicated machines %d != M %d",
+			res.Dedicated.Machines, res.Homogeneous.Dedicated.Servers)
+	}
+	if res.Consolidated.Machines != res.Homogeneous.Consolidated.Servers {
+		t.Fatalf("consolidated machines %d != N %d",
+			res.Consolidated.Machines, res.Homogeneous.Consolidated.Servers)
+	}
+	if res.MachineRatio != 2 {
+		t.Fatalf("machine ratio %g", res.MachineRatio)
+	}
+
+	// A pool with slower Intel machines needs more of them.
+	intelOnly := []ServerClass{{
+		Name:       "intel-5140",
+		Capability: map[Resource]float64{CPU: 1 / 1.2},
+	}}
+	res2, err := m.SolveHeterogeneous(intelOnly, MinMachines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Consolidated.Machines < res.Consolidated.Machines {
+		t.Fatalf("slower machines reduced the pool: %d vs %d",
+			res2.Consolidated.Machines, res.Consolidated.Machines)
+	}
+	// Per-service breakdown present for both services.
+	if len(res.PerService) != 2 {
+		t.Fatalf("per-service plans: %d", len(res.PerService))
+	}
+}
+
+func TestSolveHeterogeneousMixedFleet(t *testing.T) {
+	base := caseStudyModel(1, 1, 0.05)
+	m, err := base.WithIntensiveWorkloads([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 AMD machines available; the rest must be Intel.
+	res, err := m.SolveHeterogeneous(amdIntelClasses(2, 0), MinMachines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consolidated.Allocation["amd-2350"] != 2 {
+		t.Fatalf("consolidated allocation %v", res.Consolidated.Allocation)
+	}
+	if res.Consolidated.Allocation["intel-5140"] < 2 {
+		t.Fatalf("expected intel fill-in, got %v", res.Consolidated.Allocation)
+	}
+	if res.Consolidated.CapabilityUnits < float64(res.Homogeneous.Consolidated.Servers) {
+		t.Fatal("under-covered pool")
+	}
+}
+
+func TestHeterogeneousLoss(t *testing.T) {
+	base := caseStudyModel(1, 1, 0.05)
+	m, err := base.WithIntensiveWorkloads([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := amdIntelClasses(0, 0)
+	// 4 reference machines: same as the homogeneous N, loss <= target.
+	loss, err := m.HeterogeneousLoss(classes, map[string]int{"amd-2350": 4}, m.Form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := m.LossAtServers(4, false, m.Form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-direct) > 1e-12 {
+		t.Fatalf("integer-capability loss %g != direct %g", loss, direct)
+	}
+	// Intel machines are worth less: same count, higher loss.
+	lossIntel, err := m.HeterogeneousLoss(classes, map[string]int{"intel-5140": 4}, m.Form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossIntel <= loss {
+		t.Fatalf("slower machines should lose more: %g vs %g", lossIntel, loss)
+	}
+	// Fractional interpolation lies between the integer brackets.
+	loss35, err := m.HeterogeneousLoss(classes,
+		map[string]int{"amd-2350": 3, "intel-5140": 1}, m.Form) // 3.833 units
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss3, _ := m.LossAtServers(3, false, m.Form)
+	loss4, _ := m.LossAtServers(4, false, m.Form)
+	if loss35 < loss4-1e-12 || loss35 > loss3+1e-12 {
+		t.Fatalf("interpolated loss %g outside [%g, %g]", loss35, loss4, loss3)
+	}
+	// Negative allocations rejected.
+	if _, err := m.HeterogeneousLoss(classes, map[string]int{"amd-2350": -1}, m.Form); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+// Property: packing always covers the requirement, never exceeds class
+// counts, and MinMachines uses no more machines than MinPower. (MinPower's
+// greedy can spend *more* idle watts than MinMachines when count limits
+// force a fill-in — it is a heuristic, not an optimum — so no idle-power
+// dominance is asserted; TestPackServersMinPower covers the unconstrained
+// case where the objective does win.)
+func TestPackingProperty(t *testing.T) {
+	f := func(units uint8, bigCount, smallCount uint8) bool {
+		classes := []ServerClass{
+			{Name: "big", Count: int(bigCount), Capability: map[Resource]float64{CPU: 2},
+				Power: PowerParams{Base: 500, Max: 600}},
+			{Name: "small", Count: int(smallCount), Capability: map[Resource]float64{CPU: 1},
+				Power: PowerParams{Base: 200, Max: 260}},
+		}
+		req := int(units) % 32
+		mm, errM := PackServers(req, []Resource{CPU}, classes, MinMachines)
+		mp, errP := PackServers(req, []Resource{CPU}, classes, MinPower)
+		if errM != nil || errP != nil {
+			// Both must agree on feasibility.
+			return (errM != nil) == (errP != nil)
+		}
+		if mm.CapabilityUnits < float64(req) || mp.CapabilityUnits < float64(req) {
+			return false
+		}
+		if bigCount > 0 && mm.Allocation["big"] > int(bigCount) {
+			return false
+		}
+		if smallCount > 0 && mp.Allocation["small"] > int(smallCount) {
+			return false
+		}
+		return mm.Machines <= mp.Machines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/erlang"
+)
+
+// IntensiveWorkload implements the paper's workload-selection rule
+// (Section IV-C.2, Fig. 9): "selecting the intensive workload that the
+// servers can afford" — the largest Poisson arrival rate λ a pool of
+// `servers` dedicated servers can carry for this service at loss
+// probability at most target. It is the Erlang-B admissible-traffic inverse
+// scaled by the service's bottleneck serving rate.
+//
+// The returned rate saturates the bottleneck resource exactly: offering
+// more raises the loss probability above target ("more ... workloads result
+// in remarkable difference ... in service performance"), offering less
+// leaves headroom.
+func (s Service) IntensiveWorkload(servers int, target float64) (float64, error) {
+	if servers <= 0 {
+		return 0, fmt.Errorf("%w: IntensiveWorkload requires positive servers, got %d", ErrInvalidModel, servers)
+	}
+	muBottleneck := math.Inf(1)
+	for _, mu := range s.ServingRates {
+		if mu < muBottleneck {
+			muBottleneck = mu
+		}
+	}
+	if math.IsInf(muBottleneck, 1) {
+		return 0, fmt.Errorf("%w: service %q demands no resource", ErrInvalidModel, s.Name)
+	}
+	rho, err := erlang.Traffic(servers, target)
+	if err != nil {
+		return 0, err
+	}
+	return rho * muBottleneck, nil
+}
+
+// BottleneckResource reports the service's bottleneck resource on a
+// dedicated server — the one with the smallest serving rate — and that
+// rate. The second return is +Inf if the service demands nothing.
+func (s Service) BottleneckResource() (Resource, float64) {
+	var best Resource
+	bestMu := math.Inf(1)
+	for j, mu := range s.ServingRates {
+		if mu < bestMu || (mu == bestMu && j < best) {
+			best, bestMu = j, mu
+		}
+	}
+	return best, bestMu
+}
+
+// DefaultWorkloadIntensity is the fraction of the Erlang-admissible
+// traffic used when selecting case-study workloads. The paper picks its
+// intensive workloads from the discrete operating points measured in
+// Fig. 9, which sit slightly inside the admissible bound; 0.95 reproduces
+// that slack (see DESIGN.md §2).
+const DefaultWorkloadIntensity = 0.95
+
+// WithIntensiveWorkloads returns a copy of the model in which every
+// service's arrival rate is replaced by its intensive workload for the
+// given per-service dedicated server counts — the exact input-preparation
+// step the paper performs before Table I. dedicatedServers[i] corresponds
+// to Services[i]. The selected rate is DefaultWorkloadIntensity times the
+// exact Erlang-admissible bound; use WithWorkloadIntensity to override.
+func (m *Model) WithIntensiveWorkloads(dedicatedServers []int) (*Model, error) {
+	return m.WithWorkloadIntensity(dedicatedServers, DefaultWorkloadIntensity)
+}
+
+// WithWorkloadIntensity is WithIntensiveWorkloads with an explicit
+// intensity in (0, 1]: the fraction of each service's Erlang-admissible
+// traffic to offer. Intensity 1 sits exactly on the loss-target boundary.
+func (m *Model) WithWorkloadIntensity(dedicatedServers []int, intensity float64) (*Model, error) {
+	if len(dedicatedServers) != len(m.Services) {
+		return nil, fmt.Errorf("%w: need %d server counts, got %d",
+			ErrInvalidModel, len(m.Services), len(dedicatedServers))
+	}
+	if intensity <= 0 || intensity > 1 || math.IsNaN(intensity) {
+		return nil, fmt.Errorf("%w: workload intensity %g outside (0,1]", ErrInvalidModel, intensity)
+	}
+	clone := *m
+	clone.Services = make([]Service, len(m.Services))
+	for i, s := range m.Services {
+		lambda, err := s.IntensiveWorkload(dedicatedServers[i], m.LossTarget)
+		if err != nil {
+			return nil, fmt.Errorf("core: service %q: %w", s.Name, err)
+		}
+		cs := s
+		cs.ArrivalRate = lambda * intensity
+		clone.Services[i] = cs
+	}
+	return &clone, nil
+}

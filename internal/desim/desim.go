@@ -1,0 +1,206 @@
+// Package desim is a minimal, deterministic discrete-event simulation
+// engine: a simulation clock, a pending-event heap with stable FIFO
+// tie-breaking, cancellable events, and time-weighted statistics. It is the
+// laboratory substrate on which the queueing and cluster simulators run in
+// place of the paper's physical testbed.
+package desim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time = float64
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.fired {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && !h.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the clock and the event queue. The zero value is not
+// usable; call New.
+type Simulator struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns a simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// ErrPast reports an attempt to schedule an event before the current time.
+var ErrPast = errors.New("desim: cannot schedule event in the past")
+
+// At schedules fn to run at absolute time t. It panics if t precedes the
+// current time (a simulation bug, not a recoverable condition).
+func (s *Simulator) At(t Time, fn func()) Handle {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Errorf("%w: now=%g, requested=%g", ErrPast, s.now, t))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (s *Simulator) After(d Time, fn func()) Handle {
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the
+// horizon is reached, or Stop is called. Events scheduled exactly at the
+// horizon do fire; later events stay queued. It returns the number of
+// events executed during this call.
+func (s *Simulator) Run(horizon Time) uint64 {
+	s.stopped = false
+	var count uint64
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fired = true
+		next.fn()
+		s.fired++
+		count++
+	}
+	if s.now < horizon && !s.stopped && !math.IsInf(horizon, 1) {
+		// Advance the clock to the horizon even if the queue drained, so
+		// time-weighted statistics cover the whole window. RunAll (infinite
+		// horizon) leaves the clock at the last event instead.
+		s.now = horizon
+	}
+	return count
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Simulator) RunAll() uint64 {
+	return s.Run(math.Inf(1))
+}
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet reaped).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// TimeAverage tracks the time-weighted average of a piecewise-constant
+// signal, e.g. the number of busy servers. Call Set at every change with
+// the current simulated time; read Average at the end.
+type TimeAverage struct {
+	started  bool
+	lastT    Time
+	lastV    float64
+	area     float64
+	duration float64
+	max      float64
+}
+
+// Set records that the signal takes value v from time t onward.
+func (a *TimeAverage) Set(t Time, v float64) {
+	if a.started {
+		dt := t - a.lastT
+		if dt > 0 {
+			a.area += a.lastV * dt
+			a.duration += dt
+		}
+	} else {
+		a.started = true
+		a.max = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+	a.lastT = t
+	a.lastV = v
+}
+
+// Finish closes the observation window at time t without changing the
+// value.
+func (a *TimeAverage) Finish(t Time) { a.Set(t, a.lastV) }
+
+// Average reports the time-weighted mean (NaN if no time has elapsed).
+func (a *TimeAverage) Average() float64 {
+	if a.duration == 0 {
+		return math.NaN()
+	}
+	return a.area / a.duration
+}
+
+// Max reports the largest value observed.
+func (a *TimeAverage) Max() float64 {
+	if !a.started {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Duration reports the observed time span.
+func (a *TimeAverage) Duration() float64 { return a.duration }
+
+// Current reports the most recently set value.
+func (a *TimeAverage) Current() float64 { return a.lastV }

@@ -1,0 +1,131 @@
+package erlang
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBContinuousMatchesIntegerRecursion(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 10, 50, 200} {
+		for _, rho := range []float64{0.1, 1, 2.5, 10, 100} {
+			want := MustB(n, rho)
+			got, err := BContinuous(float64(n), rho)
+			if err != nil {
+				t.Fatalf("BContinuous(%d, %g): %v", n, rho, err)
+			}
+			if math.Abs(got-want) > 1e-8*(1+want) {
+				t.Errorf("BContinuous(%d, %g) = %.12g, recursion %.12g", n, rho, got, want)
+			}
+		}
+	}
+}
+
+func TestBContinuousInterpolatesMonotonically(t *testing.T) {
+	// Between consecutive integers, B is strictly decreasing in x.
+	rho := 2.0
+	prev, _ := BContinuous(1, rho)
+	for x := 1.1; x <= 3.001; x += 0.1 {
+		b, err := BContinuous(x, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b >= prev {
+			t.Fatalf("B not decreasing at x=%.1f: %g >= %g", x, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBContinuousBrackets(t *testing.T) {
+	// The fractional value sits between the integer neighbours.
+	for _, rho := range []float64{0.5, 1.52, 5} {
+		for _, x := range []float64{0.5, 1.25, 2.75, 3.5} {
+			lo := MustB(int(math.Ceil(x)), rho)
+			hi := MustB(int(math.Floor(x)), rho)
+			b, err := BContinuous(x, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b < lo-1e-12 || b > hi+1e-12 {
+				t.Errorf("B(%g, %g) = %g outside [%g, %g]", x, rho, b, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBContinuousEdgeCases(t *testing.T) {
+	if b, _ := BContinuous(0, 0); b != 1 {
+		t.Fatal("B(0,0) != 1")
+	}
+	if b, _ := BContinuous(2.5, 0); b != 0 {
+		t.Fatal("B(2.5, 0) != 0")
+	}
+	for _, bad := range [][2]float64{{-1, 1}, {1, -1}, {math.NaN(), 1}, {1, math.Inf(1)}} {
+		if _, err := BContinuous(bad[0], bad[1]); err == nil {
+			t.Errorf("BContinuous(%v) accepted", bad)
+		}
+	}
+}
+
+func TestServersContinuous(t *testing.T) {
+	rho, target := 1.52, 0.05
+	x, err := ServersContinuous(rho, target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must satisfy the target...
+	b, _ := BContinuous(x, rho)
+	if b > target+1e-9 {
+		t.Fatalf("B(%g) = %g exceeds target", x, b)
+	}
+	// ...and be tight within the resolution.
+	b2, _ := BContinuous(x-1e-3, rho)
+	if b2 <= target {
+		t.Fatalf("x = %g not minimal (B(x-0.001) = %g)", x, b2)
+	}
+	// The integer answer brackets the fractional one.
+	n, _ := Servers(rho, target, 0)
+	if x > float64(n) || x < float64(n-1) {
+		t.Fatalf("x = %g outside (%d-1, %d]", x, n, n)
+	}
+}
+
+func TestServersContinuousEdge(t *testing.T) {
+	if x, err := ServersContinuous(0, 0.01, 0); err != nil || x != 0 {
+		t.Fatalf("zero traffic: x=%g err=%v", x, err)
+	}
+	if _, err := ServersContinuous(-1, 0.01, 0); err == nil {
+		t.Fatal("negative traffic accepted")
+	}
+	if _, err := ServersContinuous(1, 0, 0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+// Property: BContinuous stays in (0, 1], decreases in x and increases in ρ.
+func TestBContinuousProperties(t *testing.T) {
+	f := func(xRaw, rhoRaw uint16) bool {
+		x := float64(xRaw%800)/10 + 0.05
+		rho := float64(rhoRaw%500)/10 + 0.05
+		b, err := BContinuous(x, rho)
+		if err != nil || b <= 0 || b > 1 {
+			return false
+		}
+		b2, err := BContinuous(x+0.3, rho)
+		if err != nil || b2 > b+1e-12 {
+			return false
+		}
+		b3, err := BContinuous(x, rho*1.2)
+		return err == nil && b3 >= b-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBContinuous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = BContinuous(42.7, 38.5)
+	}
+}

@@ -1,0 +1,172 @@
+package erlang
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// engsetDirect computes Engset call congestion from the truncated binomial
+// stationary distribution with N−1 sources — an independent oracle.
+func engsetDirect(n, sources int, a float64) float64 {
+	if n >= sources {
+		return 0
+	}
+	m := sources - 1
+	// E = C(m, n) a^n / Σ_{k=0..n} C(m, k) a^k, computed in log space.
+	logTerm := func(k int) float64 {
+		lg := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+		return lg(float64(m+1)) - lg(float64(k+1)) - lg(float64(m-k+1)) + float64(k)*math.Log(a)
+	}
+	maxLog := math.Inf(-1)
+	for k := 0; k <= n; k++ {
+		if lt := logTerm(k); lt > maxLog {
+			maxLog = lt
+		}
+	}
+	sum := 0.0
+	for k := 0; k <= n; k++ {
+		sum += math.Exp(logTerm(k) - maxLog)
+	}
+	return math.Exp(logTerm(n)-maxLog) / sum
+}
+
+func TestEngsetMatchesDirectFormula(t *testing.T) {
+	for _, c := range []struct {
+		n, sources int
+		a          float64
+	}{
+		{1, 2, 0.5}, {2, 5, 0.3}, {4, 10, 0.8}, {10, 50, 0.2}, {20, 200, 0.15},
+	} {
+		got, err := Engset(c.n, c.sources, c.a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := engsetDirect(c.n, c.sources, c.a)
+		if math.Abs(got-want) > 1e-10*(1+want) {
+			t.Errorf("Engset(%d, %d, a=%g) = %.10g, direct %.10g", c.n, c.sources, c.a, got, want)
+		}
+	}
+}
+
+func TestEngsetEdgeCases(t *testing.T) {
+	// Enough servers for every source: no blocking.
+	if b, _ := Engset(5, 5, 1, 1); b != 0 {
+		t.Fatal("n >= N should not block")
+	}
+	if b, _ := Engset(10, 5, 1, 1); b != 0 {
+		t.Fatal("n > N should not block")
+	}
+	// No servers: always blocked.
+	if b, _ := Engset(0, 5, 1, 1); b != 1 {
+		t.Fatal("n = 0 should always block")
+	}
+	for _, bad := range []struct {
+		n, src    int
+		alpha, mu float64
+	}{
+		{-1, 5, 1, 1}, {1, 0, 1, 1}, {1, 5, 0, 1}, {1, 5, 1, 0},
+		{1, 5, math.NaN(), 1}, {1, 5, 1, math.Inf(1)},
+	} {
+		if _, err := Engset(bad.n, bad.src, bad.alpha, bad.mu); err == nil {
+			t.Errorf("Engset(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestEngsetConvergesToErlangB(t *testing.T) {
+	// Fix the offered load at rho = N·a/(1+a) ≈ 4 Erlangs while N grows:
+	// Engset call congestion approaches Erlang B.
+	n := 6
+	rho := 4.0
+	want := MustB(n, rho)
+	var prevGap float64 = math.Inf(1)
+	for _, sources := range []int{10, 50, 200, 2000} {
+		// Choose a so that offered load N·a/(1+a) = rho.
+		a := rho / (float64(sources) - rho)
+		b, err := Engset(n, sources, a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := math.Abs(b - want)
+		if gap > prevGap+1e-12 {
+			t.Fatalf("N=%d: gap %.6f grew from %.6f", sources, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 0.002 {
+		t.Fatalf("Engset did not converge to Erlang B: final gap %.5f", prevGap)
+	}
+}
+
+func TestEngsetBelowErlangB(t *testing.T) {
+	// At equal offered load, finite sources block LESS than Poisson
+	// arrivals: blocked sources stop generating.
+	n, sources := 4, 12
+	rho := 3.0
+	a := rho / (float64(sources) - rho)
+	engset, _ := Engset(n, sources, a, 1)
+	erlang := MustB(n, rho)
+	if engset >= erlang {
+		t.Fatalf("Engset %.5f >= Erlang B %.5f at equal load", engset, erlang)
+	}
+}
+
+func TestEngsetOfferedRate(t *testing.T) {
+	// 100 EBs, 7 s think, 10 ms service: λ ≈ 100/7.01 ≈ 14.27/s — the
+	// Little's-law value the cluster simulator reproduces.
+	rate, err := EngsetOfferedRate(100, 1.0/7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-100/7.01) > 1e-9 {
+		t.Fatalf("offered rate %.4f", rate)
+	}
+	if _, err := EngsetOfferedRate(0, 1, 1); err == nil {
+		t.Fatal("zero sources accepted")
+	}
+}
+
+func TestEngsetServers(t *testing.T) {
+	sources, alpha, mu := 50, 0.2, 1.0
+	n, err := EngsetServers(sources, alpha, mu, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Engset(n, sources, alpha, mu)
+	if b > 0.01 {
+		t.Fatalf("sized %d servers but blocking %.4f", n, b)
+	}
+	if n > 0 {
+		prev, _ := Engset(n-1, sources, alpha, mu)
+		if prev <= 0.01 {
+			t.Fatalf("sizing not minimal: n-1 blocks only %.4f", prev)
+		}
+	}
+	if _, err := EngsetServers(10, 1, 1, 0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+// Property: Engset blocking lies in [0, 1], decreases with servers and
+// increases with per-source demand.
+func TestEngsetProperties(t *testing.T) {
+	f := func(nRaw, srcRaw uint8, aRaw uint16) bool {
+		sources := int(srcRaw)%100 + 2
+		n := int(nRaw) % sources
+		a := float64(aRaw)/2000 + 0.01
+		b, err := Engset(n, sources, a, 1)
+		if err != nil || b < 0 || b > 1 {
+			return false
+		}
+		b2, err := Engset(n+1, sources, a, 1)
+		if err != nil || b2 > b+1e-12 {
+			return false
+		}
+		b3, err := Engset(n, sources, a*1.5, 1)
+		return err == nil && b3 >= b-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

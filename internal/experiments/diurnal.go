@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"repro/internal/erlang"
+	"repro/internal/queueing"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DiurnalRow is one provisioning strategy evaluated against a full
+// synthetic day of non-stationary traffic.
+type DiurnalRow struct {
+	Strategy string
+	Servers  int
+	SimLoss  float64
+	ModelB   float64 // the Erlang B value the strategy was sized from
+}
+
+// DiurnalResult is the nonstationarity ablation: the Erlang model assumes
+// a stationary Poisson stream, but real Internet traffic follows daily
+// cycles (Fig. 2). Sizing from the *mean* rate under-provisions because
+// losses concentrate at the peak; sizing from the *peak* rate (the Fig. 2
+// capacity line) restores the QoS target at the cost of more servers.
+type DiurnalResult struct {
+	MeanRate float64
+	PeakRate float64
+	Rows     []DiurnalRow
+}
+
+// Diurnal simulates one day of NHPP traffic against pools sized three
+// ways: from the mean rate, from the daily peak, and from the 95th
+// percentile of the cycle.
+func Diurnal(cfg Config) (*DiurnalResult, error) {
+	day, err := trace.Diurnal(trace.DiurnalConfig{
+		Name: "web-day", Base: 1.0, Peak: 5.0, PeakHour: 14, Noise: 0.05,
+		BinSec: 900, // 15-minute bins keep the NHPP windows coarse
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	const target = 0.02
+	mu := 1.0 // unit service rate: trace values are offered Erlangs
+
+	res := &DiurnalResult{
+		MeanRate: day.Mean(),
+		PeakRate: day.Peak(),
+	}
+
+	sizeFor := func(rho float64) (int, float64, error) {
+		n, err := erlang.Servers(rho, target, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := erlang.B(n, rho)
+		return n, b, err
+	}
+	p95, err := trace.CapacityLine(day, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	strategies := []struct {
+		name string
+		rho  float64
+	}{
+		{"size-for-mean", day.Mean()},
+		{"size-for-p95", p95},
+		{"size-for-peak", day.Peak()},
+	}
+
+	// One simulated day (or an eighth of one in Quick mode, preserving the
+	// cycle by compressing the bin width).
+	binSec := day.BinSec
+	if cfg.Quick {
+		binSec /= 8
+	}
+	for i, s := range strategies {
+		n, modelB, err := sizeFor(s.rho)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := queueing.Simulate(queueing.Config{
+			Servers:  n,
+			Arrivals: workload.FromTrace(day.Values, binSec, true),
+			Service:  stats.NewExponential(mu),
+			Horizon:  binSec * float64(len(day.Values)),
+			Warmup:   0, // the cycle has no transient: start at the trough-adjacent bin
+			Seed:     cfg.Seed + uint64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, DiurnalRow{
+			Strategy: s.name,
+			Servers:  n,
+			SimLoss:  sim.LossProb,
+			ModelB:   modelB,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the nonstationarity ablation.
+func (r *DiurnalResult) Tables() []*Table {
+	t := &Table{
+		ID:      "ablation-diurnal",
+		Title:   "nonstationary (diurnal) traffic vs stationary Erlang sizing, one simulated day",
+		Columns: []string{"strategy", "servers", "model B at sizing point", "simulated day loss"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Strategy, row.Servers, row.ModelB, row.SimLoss)
+	}
+	t.Notes = append(t.Notes,
+		"losses concentrate at the daily peak: sizing from the mean rate misses the QoS target",
+		"sizing from the peak (Fig. 2's capacity line) restores it — the model must be fed peak-period rates")
+	return []*Table{t}
+}
+
+func runDiurnal(cfg Config) ([]*Table, error) {
+	r, err := Diurnal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tables(), nil
+}

@@ -1,0 +1,180 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section IV) plus the motivation analysis of Fig. 2, using the
+// simulation substrates in place of the authors' 17-server testbed. Each
+// ExpXXX function returns a structured result with a Table method that
+// renders the same rows/series the paper reports; cmd/repro prints them and
+// bench_test.go regenerates them under `go test -bench`.
+//
+// The headline reproduction targets (shape, not absolute numbers) are
+// listed in DESIGN.md §3 and the achieved values are recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Seed drives all simulations; experiments derive deterministic
+	// sub-seeds from it.
+	Seed uint64
+
+	// Quick shrinks horizons and sweep densities by roughly an order of
+	// magnitude, for tests and fast benchmarking. Shapes survive; noise
+	// grows.
+	Quick bool
+}
+
+// scale returns v shrunk under Quick mode.
+func (c Config) scale(v float64) float64 {
+	if c.Quick {
+		return v / 8
+	}
+	return v
+}
+
+// Table is a printable experiment artifact: the rows/series of one paper
+// table or figure.
+type Table struct {
+	ID      string // e.g. "fig5a", "table1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow formats and appends one row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown, for writing
+// artifacts to report files (cmd/repro -o).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Experiment couples an ID with its runner for the cmd/repro registry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) ([]*Table, error)
+}
+
+// All lists every reproducible artifact in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", "Consolidation headroom of diurnal workloads (motivation, Fig. 2)", runFig2},
+		{"fig5", "Web throughput & disk-I/O impact factor vs #VMs (Fig. 5)", runFig5},
+		{"fig6", "Web throughput & CPU impact factor vs #VMs (Fig. 6)", runFig6},
+		{"fig7", "vCPU pinning effect on DB throughput (Fig. 7)", runFig7},
+		{"fig8", "DB throughput & CPU/software impact factor vs #VMs (Fig. 8)", runFig8},
+		{"fig9", "Workload selection on 4-server pools (Fig. 9)", runFig9},
+		{"table1", "Utility analytic model inputs and outputs (Table I)", runTable1},
+		{"fig10", "Group 1: 6 dedicated vs 2/3/4 consolidated servers (Fig. 10)", runFig10},
+		{"fig11", "Group 2: 8 dedicated vs 4 consolidated servers (Fig. 11)", runFig11},
+		{"fig12", "Total power: 8 dedicated vs 4 consolidated (Fig. 12)", runFig12},
+		{"fig13", "Workload-only power (Fig. 13)", runFig13},
+		{"appa", "Allocator QoS bound at M = N (Section III-B.4 app. 1)", runAppA},
+		{"appb", "Ideal-virtualization bound at M = N (Section III-B.4 app. 2)", runAppB},
+		{"modelval", "Model vs simulation loss probability (Section IV claim)", runModelVal},
+		{"hetero", "Heterogeneous fleets (Section V future work)", runHetero},
+		{"ablation-form", "Ablation: the three Eq. (5) readings", runFormAblation},
+		{"ablation-scv", "Ablation: service-time insensitivity", runSCVAblation},
+		{"ablation-burst", "Ablation: Poisson-assumption sensitivity", runBurstAblation},
+		{"ablation-alloc", "Ablation: resource-flowing granularity", runAllocAblation},
+		{"ablation-diurnal", "Ablation: nonstationary diurnal traffic", runDiurnal},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

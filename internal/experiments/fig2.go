@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Fig2Result is the motivation analysis: three diurnal workloads with
+// staggered peaks consolidated onto shared servers.
+type Fig2Result struct {
+	Series   []trace.Series
+	Sum      trace.Series
+	Headroom trace.Headroom
+	// Line99 is the "guarantee performance in some probability level"
+	// capacity line of Fig. 2(b), at a 1 % exceedance budget.
+	Line99 float64
+}
+
+// Fig2 synthesizes three anti-correlated diurnal workloads (the "three
+// applications with various features" of the paper's Fig. 2) and computes
+// the consolidation headroom.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	specs := []trace.DiurnalConfig{
+		{Name: "web-shop", Base: 150, Peak: 1000, PeakHour: 14, Noise: 0.10},
+		{Name: "batch-report", Base: 100, Peak: 800, PeakHour: 2, Noise: 0.10},
+		{Name: "mail", Base: 120, Peak: 600, PeakHour: 9, Noise: 0.10},
+	}
+	res := &Fig2Result{}
+	for i, sc := range specs {
+		s, err := trace.Diurnal(sc, cfg.Seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	sum, err := trace.Sum(res.Series...)
+	if err != nil {
+		return nil, err
+	}
+	res.Sum = sum
+	const serverCapacity = 400 // intensity units one server carries
+	h, err := trace.Analyze(serverCapacity, res.Series...)
+	if err != nil {
+		return nil, err
+	}
+	res.Headroom = h
+	line, err := trace.CapacityLine(sum, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	res.Line99 = line
+	return res, nil
+}
+
+// Tables renders the per-workload peaks and the headroom summary.
+func (r *Fig2Result) Tables() []*Table {
+	per := &Table{
+		ID:      "fig2a",
+		Title:   "Dedicated workloads: peaks and means",
+		Columns: []string{"workload", "peak", "mean", "peak/mean"},
+	}
+	for _, s := range r.Series {
+		per.AddRow(s.Name, s.Peak(), s.Mean(), s.PeakToMean())
+	}
+	sum := &Table{
+		ID:      "fig2b",
+		Title:   "Consolidated workload: headroom",
+		Columns: []string{"metric", "value"},
+	}
+	sum.AddRow("sum of peaks", r.Headroom.SumOfPeaks)
+	sum.AddRow("peak of sum", r.Headroom.PeakOfSum)
+	sum.AddRow("provisioning saving", fmt.Sprintf("%.1f%%", r.Headroom.Saving*100))
+	sum.AddRow("servers dedicated", r.Headroom.ServersDedicated)
+	sum.AddRow("servers consolidated", r.Headroom.ServersConsolidated)
+	sum.AddRow("99% capacity line", r.Line99)
+	sum.Notes = append(sum.Notes,
+		"peak of consolidated workloads is not higher than the sum of the dedicated peaks (Fig. 2)")
+	return []*Table{per, sum}
+}
+
+func runFig2(cfg Config) ([]*Table, error) {
+	r, err := Fig2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tables(), nil
+}

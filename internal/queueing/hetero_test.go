@@ -1,0 +1,135 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/erlang"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func heteroCfg(rates []float64, lambda float64, seed uint64) HeteroConfig {
+	return HeteroConfig{
+		Rates:        rates,
+		Arrivals:     workload.NewPoisson(lambda),
+		FastestFirst: true,
+		Horizon:      8000,
+		Warmup:       800,
+		Seed:         seed,
+	}
+}
+
+func TestHeteroValidate(t *testing.T) {
+	good := heteroCfg([]float64{1, 2}, 1, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*HeteroConfig){
+		func(c *HeteroConfig) { c.Rates = nil },
+		func(c *HeteroConfig) { c.Rates = []float64{0} },
+		func(c *HeteroConfig) { c.Rates = []float64{-1} },
+		func(c *HeteroConfig) { c.Arrivals = nil },
+		func(c *HeteroConfig) { c.Horizon = 0 },
+		func(c *HeteroConfig) { c.Warmup = c.Horizon },
+	}
+	for i, mutate := range cases {
+		c := heteroCfg([]float64{1, 2}, 1, 1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := SimulateHetero(HeteroConfig{}); err == nil {
+		t.Fatal("empty config simulated")
+	}
+}
+
+func TestHeteroHomogeneousMatchesErlangB(t *testing.T) {
+	// Equal rates reduce to the classic M/M/n/n.
+	lambda := 2.0
+	res, err := SimulateHetero(heteroCfg([]float64{1, 1, 1}, lambda, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := erlang.MustB(3, lambda)
+	if !res.LossCI.Contains(want) && stats.RelativeError(res.LossProb, want) > 0.08 {
+		t.Fatalf("homogeneous loss %s vs Erlang B %.4f", res.LossCI, want)
+	}
+	if math.Abs(res.CapabilityUnits-3) > 1e-12 {
+		t.Fatalf("capability units %g", res.CapabilityUnits)
+	}
+}
+
+func TestHeteroPooledApproximation(t *testing.T) {
+	// The heterogeneous pool (rates 1.2, 1.2, 1, 1, normalized capability
+	// 1+1+0.83+0.83 = 3.67 fast-server units) against the continuous
+	// Erlang B at the pooled capability. The approximation should land
+	// within a modest factor — this test *documents* its accuracy.
+	lambda := 3.0
+	rates := []float64{1.2, 1.2, 1.0, 1.0}
+	res, err := SimulateHetero(heteroCfg(rates, lambda, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhoFast := lambda / 1.2
+	approx, err := erlang.BContinuous(res.CapabilityUnits, rhoFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossProb <= 0 {
+		t.Fatal("no losses observed; raise the load")
+	}
+	ratio := res.LossProb / approx
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("pooled approximation off by %gx (sim %.4f, approx %.4f)",
+			ratio, res.LossProb, approx)
+	}
+}
+
+func TestHeteroFastestFirstBeatsRandom(t *testing.T) {
+	// Fastest-first assignment wastes less capacity than random
+	// assignment, so it loses no more requests.
+	lambda := 3.2
+	rates := []float64{2, 1, 0.5, 0.5}
+	fastest, err := SimulateHetero(heteroCfg(rates, lambda, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := heteroCfg(rates, lambda, 17)
+	random.FastestFirst = false
+	rnd, err := SimulateHetero(random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastest.LossProb > rnd.LossProb+0.01 {
+		t.Fatalf("fastest-first lost %.4f vs random %.4f", fastest.LossProb, rnd.LossProb)
+	}
+}
+
+func TestHeteroBusyOrdering(t *testing.T) {
+	// Under fastest-first, faster servers are busier.
+	lambda := 1.5
+	res, err := SimulateHetero(heteroCfg([]float64{2, 1}, lambda, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerServerBusy[0] <= res.PerServerBusy[1] {
+		t.Fatalf("fast server busy %.3f <= slow %.3f",
+			res.PerServerBusy[0], res.PerServerBusy[1])
+	}
+	// Conservation.
+	diff := res.Arrivals - res.Served - res.Lost
+	if diff < 0 || diff > int64(len(res.PerServerBusy)) {
+		t.Fatalf("conservation: %d arrivals, %d served, %d lost",
+			res.Arrivals, res.Served, res.Lost)
+	}
+}
+
+func TestHeteroDeterminism(t *testing.T) {
+	a, _ := SimulateHetero(heteroCfg([]float64{1.5, 1}, 2, 23))
+	b, _ := SimulateHetero(heteroCfg([]float64{1.5, 1}, 2, 23))
+	if a.Arrivals != b.Arrivals || a.Lost != b.Lost {
+		t.Fatal("identical seeds diverged")
+	}
+}

@@ -1,0 +1,260 @@
+// Package queueing simulates the loss systems underlying the utility
+// analytic model: G/G/n/n pure-loss pools (the Erlang B setting) and
+// G/G/n/n+q finite-queue pools (for the response-time view of the
+// evaluation). It is the controlled laboratory for the "model vs. reality"
+// experiments: by PASTA and Erlang insensitivity, an M/G/n/n simulation's
+// loss probability must converge to the Erlang B formula regardless of the
+// service-time distribution — and the test suite checks exactly that.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/desim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config describes one simulated pool.
+type Config struct {
+	// Servers is the number of parallel servers (the paper's n).
+	Servers int
+
+	// QueueCap is the waiting-room size: 0 gives the pure loss system
+	// (Erlang B); a positive value gives G/G/n/n+q; Infinite queues are
+	// requested with QueueCapInfinite.
+	QueueCap int
+
+	// Arrivals generates the request stream.
+	Arrivals workload.ArrivalProcess
+
+	// Service is the per-request service-time distribution on one server.
+	Service stats.Distribution
+
+	// Horizon is the simulated duration in seconds.
+	Horizon float64
+
+	// Warmup discards statistics before this time (transient removal).
+	Warmup float64
+
+	// Seed drives all randomness; identical configs with identical seeds
+	// produce identical results.
+	Seed uint64
+}
+
+// QueueCapInfinite requests an unbounded waiting room.
+const QueueCapInfinite = -1
+
+// ErrInvalidConfig reports an unusable simulation configuration.
+var ErrInvalidConfig = errors.New("queueing: invalid config")
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("%w: servers=%d", ErrInvalidConfig, c.Servers)
+	}
+	if c.QueueCap < QueueCapInfinite {
+		return fmt.Errorf("%w: queue cap=%d", ErrInvalidConfig, c.QueueCap)
+	}
+	if c.Arrivals == nil || c.Service == nil {
+		return fmt.Errorf("%w: nil arrivals or service", ErrInvalidConfig)
+	}
+	if c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("%w: horizon=%g", ErrInvalidConfig, c.Horizon)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return fmt.Errorf("%w: warmup=%g with horizon=%g", ErrInvalidConfig, c.Warmup, c.Horizon)
+	}
+	return nil
+}
+
+// Result summarizes one run. Counters cover the post-warmup window only.
+type Result struct {
+	Arrivals int64
+	Served   int64
+	Lost     int64
+
+	// LossProb is Lost/Arrivals — the paper's "loss probability calculated
+	// by requests" B.
+	LossProb float64
+
+	// LossCI is a 95 % Wald interval on LossProb.
+	LossCI stats.CI
+
+	// TimeBlocked is the fraction of (post-warmup) time all servers were
+	// busy and the queue (if any) was full — the paper's "loss probability
+	// calculated by time" p_n. PASTA makes it equal LossProb in
+	// distribution for Poisson arrivals.
+	TimeBlocked float64
+
+	// MeanBusy is the time-average number of busy servers (carried
+	// traffic).
+	MeanBusy float64
+
+	// Utilization is MeanBusy / Servers.
+	Utilization float64
+
+	// Throughput is Served divided by the observation window.
+	Throughput float64
+
+	// ResponseTimes summarizes sojourn times (wait + service) of served
+	// requests.
+	ResponseTimes stats.Accumulator
+
+	// QueueLen is the time-average queue length (0 for pure loss systems).
+	QueueLen float64
+
+	// Window is the post-warmup observation duration.
+	Window float64
+}
+
+// Simulate runs the pool to its horizon and returns the summary.
+func Simulate(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := desim.New()
+	stream := stats.NewStream(cfg.Seed, "queueing")
+	arrStream := stream.Substream("arrivals")
+	svcStream := stream.Substream("service")
+
+	type job struct {
+		arrived desim.Time
+	}
+
+	var (
+		busy       int
+		queue      []job
+		res        Result
+		busyAvg    desim.TimeAverage
+		queueAvg   desim.TimeAverage
+		blockedAvg desim.TimeAverage
+	)
+	blockedState := func() float64 {
+		full := busy == cfg.Servers
+		if cfg.QueueCap > 0 {
+			full = full && len(queue) >= cfg.QueueCap
+		}
+		if cfg.QueueCap == QueueCapInfinite {
+			full = false
+		}
+		if full {
+			return 1
+		}
+		return 0
+	}
+	record := func() {
+		now := sim.Now()
+		if now < cfg.Warmup {
+			now = cfg.Warmup
+		}
+		busyAvg.Set(now, float64(busy))
+		queueAvg.Set(now, float64(len(queue)))
+		blockedAvg.Set(now, blockedState())
+	}
+
+	var finish func()
+	startService := func(j job) {
+		busy++
+		d := cfg.Service.Sample(svcStream)
+		arrivedAt := j.arrived
+		sim.After(d, func() {
+			if sim.Now() >= cfg.Warmup {
+				res.Served++
+				res.ResponseTimes.Add(sim.Now() - arrivedAt)
+			}
+			busy--
+			finish()
+			record()
+		})
+		record()
+	}
+	finish = func() {
+		if len(queue) > 0 && busy < cfg.Servers {
+			j := queue[0]
+			queue = queue[1:]
+			startService(j)
+		}
+	}
+
+	var arrive func()
+	arrive = func() {
+		now := sim.Now()
+		if now >= cfg.Warmup {
+			res.Arrivals++
+		}
+		j := job{arrived: now}
+		switch {
+		case busy < cfg.Servers:
+			startService(j)
+		case cfg.QueueCap == QueueCapInfinite || len(queue) < cfg.QueueCap:
+			queue = append(queue, j)
+			record()
+		default:
+			if now >= cfg.Warmup {
+				res.Lost++
+			}
+		}
+		gap := cfg.Arrivals.Next(arrStream)
+		next := now + gap
+		if next <= cfg.Horizon {
+			sim.At(next, arrive)
+		}
+	}
+
+	// Prime statistics at the warmup boundary and start the arrival stream.
+	sim.At(cfg.Warmup, record)
+	firstGap := cfg.Arrivals.Next(arrStream)
+	if firstGap <= cfg.Horizon {
+		sim.At(firstGap, arrive)
+	}
+	sim.Run(cfg.Horizon)
+
+	busyAvg.Finish(cfg.Horizon)
+	queueAvg.Finish(cfg.Horizon)
+	blockedAvg.Finish(cfg.Horizon)
+
+	res.Window = cfg.Horizon - cfg.Warmup
+	if res.Arrivals > 0 {
+		res.LossProb = float64(res.Lost) / float64(res.Arrivals)
+	}
+	res.LossCI = stats.ProportionCI(res.Lost, res.Arrivals, 0.95)
+	if v := busyAvg.Average(); !math.IsNaN(v) {
+		res.MeanBusy = v
+	}
+	res.Utilization = res.MeanBusy / float64(cfg.Servers)
+	if v := queueAvg.Average(); !math.IsNaN(v) {
+		res.QueueLen = v
+	}
+	if v := blockedAvg.Average(); !math.IsNaN(v) {
+		res.TimeBlocked = v
+	}
+	if res.Window > 0 {
+		res.Throughput = float64(res.Served) / res.Window
+	}
+	return &res, nil
+}
+
+// Replications runs the same configuration with seeds seed, seed+1, ... and
+// returns per-replication loss probabilities plus an aggregate CI — the
+// independent-replications method for tight confidence intervals.
+func Replications(cfg Config, replications int) ([]float64, stats.CI, error) {
+	if replications <= 0 {
+		return nil, stats.CI{}, fmt.Errorf("%w: replications=%d", ErrInvalidConfig, replications)
+	}
+	losses := make([]float64, 0, replications)
+	var acc stats.Accumulator
+	for r := 0; r < replications; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)
+		res, err := Simulate(c)
+		if err != nil {
+			return nil, stats.CI{}, err
+		}
+		losses = append(losses, res.LossProb)
+		acc.Add(res.LossProb)
+	}
+	return losses, acc.MeanCI(0.95), nil
+}

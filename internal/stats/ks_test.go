@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func drawSample(d Distribution, n int, seed uint64) []float64 {
+	s := NewStream(seed, "ks/"+d.String())
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(s)
+	}
+	return out
+}
+
+func TestKSAcceptsCorrectDistributions(t *testing.T) {
+	cases := []struct {
+		d   Distribution
+		cdf func(float64) float64
+	}{
+		{NewExponential(2.5), ExponentialCDF(2.5)},
+		{Uniform{Lo: 1, Hi: 4}, UniformCDF(1, 4)},
+		{Pareto{Xm: 1, Alpha: 2.2}, ParetoCDF(1, 2.2)},
+	}
+	for _, c := range cases {
+		res, err := KSTest(drawSample(c.d, 5000, 11), c.cdf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.01) {
+			t.Errorf("%s rejected against its own CDF: %s", c.d, res)
+		}
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	// Exponential sample tested against a uniform CDF: decisive rejection.
+	sample := drawSample(NewExponential(1), 5000, 13)
+	res, err := KSTest(sample, UniformCDF(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.001) {
+		t.Fatalf("wrong CDF accepted: %s", res)
+	}
+	// Wrong rate, same family: also rejected at this sample size.
+	res, err = KSTest(sample, ExponentialCDF(1.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Fatalf("wrong rate accepted: %s", res)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSTest(nil, ExponentialCDF(1)); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	bad := func(float64) float64 { return 2 }
+	if _, err := KSTest([]float64{1, 2}, bad); err == nil {
+		t.Fatal("invalid CDF accepted")
+	}
+}
+
+func TestKSPValueSane(t *testing.T) {
+	// Tiny statistic: p near 1. Huge statistic: p near 0.
+	if p := ksPValue(1e-9, 100); p < 0.99 {
+		t.Fatalf("tiny D gave p=%g", p)
+	}
+	if p := ksPValue(0.5, 100); p > 1e-6 {
+		t.Fatalf("huge D gave p=%g", p)
+	}
+	// Monotone decreasing in D.
+	prev := 1.1
+	for d := 0.01; d < 0.3; d += 0.01 {
+		p := ksPValue(d, 200)
+		if p > prev+1e-12 {
+			t.Fatalf("p not decreasing at D=%g", d)
+		}
+		prev = p
+	}
+}
+
+func TestKSStatisticExactTinySample(t *testing.T) {
+	// Sample {0.5} against U[0,1]: D = max(1-0.5, 0.5-0) = 0.5.
+	res, err := KSTest([]float64{0.5}, UniformCDF(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Statistic-0.5) > 1e-12 {
+		t.Fatalf("D = %g, want 0.5", res.Statistic)
+	}
+}

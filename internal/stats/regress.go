@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearFit is the result of an ordinary-least-squares straight-line fit
+// y ≈ Intercept + Slope·x, as used by the paper to summarize impact factors
+// ("we sum up the relationship ... using the linear regression",
+// Section IV-C.1).
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+func (f LinearFit) String() string {
+	sign := "+"
+	b := f.Intercept
+	if b < 0 {
+		sign, b = "-", -b
+	}
+	return fmt.Sprintf("y = %.4g*x %s %.4g (R2=%.4f, n=%d)", f.Slope, sign, b, f.R2, f.N)
+}
+
+// At evaluates the fitted line at x.
+func (f LinearFit) At(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// ErrDegenerate reports a regression whose design matrix is singular
+// (e.g. all x equal, or too few points).
+var ErrDegenerate = errors.New("stats: degenerate regression input")
+
+// LinearRegression fits y ≈ a + b·x by ordinary least squares. It requires
+// at least two points with distinct x values.
+func LinearRegression(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: x/y length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, ErrDegenerate
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := 0.0
+		for i := 0; i < n; i++ {
+			r := ys[i] - (intercept + slope*xs[i])
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// PolyFit is a polynomial fit y ≈ Σ Coeffs[k]·x^k.
+type PolyFit struct {
+	Coeffs []float64 // ascending degree
+	R2     float64
+	N      int
+}
+
+// At evaluates the polynomial at x by Horner's rule.
+func (p PolyFit) At(x float64) float64 {
+	v := 0.0
+	for k := len(p.Coeffs) - 1; k >= 0; k-- {
+		v = v*x + p.Coeffs[k]
+	}
+	return v
+}
+
+func (p PolyFit) String() string {
+	return fmt.Sprintf("poly(deg=%d, R2=%.4f, n=%d)", len(p.Coeffs)-1, p.R2, p.N)
+}
+
+// PolynomialRegression fits a degree-d polynomial by solving the normal
+// equations with Gaussian elimination and partial pivoting. It requires
+// len(xs) > d distinct points.
+func PolynomialRegression(xs, ys []float64, degree int) (PolyFit, error) {
+	if len(xs) != len(ys) {
+		return PolyFit{}, fmt.Errorf("stats: x/y length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if degree < 0 || len(xs) <= degree {
+		return PolyFit{}, ErrDegenerate
+	}
+	m := degree + 1
+	// Normal equations: (XᵀX)c = Xᵀy with X the Vandermonde matrix.
+	ata := make([][]float64, m)
+	atb := make([]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	for k := range xs {
+		pow := make([]float64, m)
+		pow[0] = 1
+		for j := 1; j < m; j++ {
+			pow[j] = pow[j-1] * xs[k]
+		}
+		for i := 0; i < m; i++ {
+			atb[i] += pow[i] * ys[k]
+			for j := 0; j < m; j++ {
+				ata[i][j] += pow[i] * pow[j]
+			}
+		}
+	}
+	coeffs, err := SolveLinearSystem(ata, atb)
+	if err != nil {
+		return PolyFit{}, err
+	}
+	fit := PolyFit{Coeffs: coeffs, N: len(xs)}
+	my := Mean(ys)
+	var ssTot, ssRes float64
+	for k := range xs {
+		d := ys[k] - my
+		ssTot += d * d
+		r := ys[k] - fit.At(xs[k])
+		ssRes += r * r
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// SolveLinearSystem solves A·x = b in place (A and b are copied) using
+// Gaussian elimination with partial pivoting. A must be square and
+// len(b) == len(A).
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, ErrDegenerate
+	}
+	// Copy.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, ErrDegenerate
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrDegenerate
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= m[col][c] * x[c]
+		}
+		x[col] = sum / m[col][col]
+	}
+	return x, nil
+}
+
+// RationalSaturatingFit fits the paper's DB impact-factor form
+//
+//	a(v) ≈ C · v² / (1 + v²)
+//
+// (Section IV-C.1, Figure 8b) by least squares on the single parameter C,
+// which has the closed-form solution C = Σ wᵢyᵢ / Σ wᵢ² with wᵢ = vᵢ²/(1+vᵢ²).
+type RationalSaturatingFit struct {
+	C  float64
+	R2 float64
+	N  int
+}
+
+// At evaluates the fitted curve at v.
+func (r RationalSaturatingFit) At(v float64) float64 { return r.C * v * v / (1 + v*v) }
+
+func (r RationalSaturatingFit) String() string {
+	return fmt.Sprintf("a(v) = %.4g*v^2/(1+v^2) (R2=%.4f, n=%d)", r.C, r.R2, r.N)
+}
+
+// FitRationalSaturating performs the one-parameter fit described above.
+func FitRationalSaturating(vs, ys []float64) (RationalSaturatingFit, error) {
+	if len(vs) != len(ys) || len(vs) == 0 {
+		return RationalSaturatingFit{}, ErrDegenerate
+	}
+	var num, den float64
+	for i := range vs {
+		w := vs[i] * vs[i] / (1 + vs[i]*vs[i])
+		num += w * ys[i]
+		den += w * w
+	}
+	if den == 0 {
+		return RationalSaturatingFit{}, ErrDegenerate
+	}
+	fit := RationalSaturatingFit{C: num / den, N: len(vs)}
+	my := Mean(ys)
+	var ssTot, ssRes float64
+	for i := range vs {
+		d := ys[i] - my
+		ssTot += d * d
+		r := ys[i] - fit.At(vs[i])
+		ssRes += r * r
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegressionExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1.082 - 0.012*x // the paper's Fig. 5(b) fit
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope+0.012) > 1e-12 || math.Abs(fit.Intercept-1.082) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Fatalf("R2 = %g on exact data", fit.R2)
+	}
+	if fit.At(6) != 1.082-0.012*6 {
+		t.Fatal("At() wrong")
+	}
+	if fit.String() == "" {
+		t.Fatal("empty fit string")
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	s := NewStream(8, "noise")
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 2+3*x+s.NormFloat64()*0.5)
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.05 || math.Abs(fit.Intercept-2) > 0.5 {
+		t.Fatalf("noisy fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %g", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+	if _, err := LinearRegression([]float64{1}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("single point should be degenerate")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("constant x should be degenerate")
+	}
+}
+
+func TestPolynomialRegressionExact(t *testing.T) {
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 - 2*x + 0.5*x*x
+	}
+	fit, err := PolynomialRegression(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 0.5}
+	for k, c := range want {
+		if math.Abs(fit.Coeffs[k]-c) > 1e-9 {
+			t.Fatalf("coeff %d = %g, want %g", k, fit.Coeffs[k], c)
+		}
+	}
+	if fit.R2 < 1-1e-9 {
+		t.Fatalf("R2 = %g", fit.R2)
+	}
+	if math.Abs(fit.At(4)-(1-8+8)) > 1e-9 {
+		t.Fatal("Horner evaluation wrong")
+	}
+}
+
+func TestPolynomialRegressionDegreeZero(t *testing.T) {
+	fit, err := PolynomialRegression([]float64{1, 2, 3}, []float64{5, 5, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Coeffs[0]-5) > 1e-12 {
+		t.Fatalf("constant fit = %v", fit.Coeffs)
+	}
+}
+
+func TestPolynomialRegressionErrors(t *testing.T) {
+	if _, err := PolynomialRegression([]float64{1, 2}, []float64{1, 2}, 2); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("underdetermined fit should fail")
+	}
+	if _, err := PolynomialRegression([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSystemSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinearSystem(a, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("singular system should fail")
+	}
+	if _, err := SolveLinearSystem(nil, nil); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty system should fail")
+	}
+	if _, err := SolveLinearSystem([][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestSolveLinearSystemPropertyRoundTrip(t *testing.T) {
+	// Property: for random diagonally dominant systems, A·x ≈ b.
+	s := NewStream(17, "linsys")
+	f := func(seed uint16) bool {
+		n := 1 + int(seed)%6
+		a := make([][]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			rowSum := 0.0
+			for j := range a[i] {
+				a[i][j] = s.Float64()*2 - 1
+				rowSum += math.Abs(a[i][j])
+			}
+			a[i][i] += rowSum + 1 // ensure dominance
+			b[i] = s.Float64() * 10
+		}
+		x, err := SolveLinearSystem(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			dot := 0.0
+			for j := range a[i] {
+				dot += a[i][j] * x[j]
+			}
+			if math.Abs(dot-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitRationalSaturatingExact(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(vs))
+	for i, v := range vs {
+		ys[i] = 1.85 * v * v / (1 + v*v) // the paper's Fig. 8(b) form
+	}
+	fit, err := FitRationalSaturating(vs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.C-1.85) > 1e-9 {
+		t.Fatalf("C = %g", fit.C)
+	}
+	if fit.R2 < 1-1e-9 {
+		t.Fatalf("R2 = %g", fit.R2)
+	}
+	if fit.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestFitRationalSaturatingErrors(t *testing.T) {
+	if _, err := FitRationalSaturating(nil, nil); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := FitRationalSaturating([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("mismatched input should fail")
+	}
+	if _, err := FitRationalSaturating([]float64{0}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("all-zero weights should fail")
+	}
+}
+
+func TestLinearVsPolynomialAgreement(t *testing.T) {
+	// Degree-1 polynomial regression must agree with LinearRegression.
+	xs := []float64{0, 1, 2, 3, 4, 7, 9}
+	ys := []float64{1, 2.9, 5.2, 7.1, 8.8, 15.3, 19.1}
+	lin, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := PolynomialRegression(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lin.Intercept-poly.Coeffs[0]) > 1e-9 || math.Abs(lin.Slope-poly.Coeffs[1]) > 1e-9 {
+		t.Fatalf("lin %+v vs poly %v", lin, poly.Coeffs)
+	}
+}

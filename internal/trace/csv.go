@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the series as two columns, `seconds,value`, with a
+// header row. The format round-trips through ReadCSV and imports cleanly
+// into spreadsheet/plotting tools.
+func (s Series) WriteCSV(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", s.Name}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			strconv.FormatFloat(float64(i)*s.BinSec, 'g', -1, 64),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a two-column `seconds,value` series written by WriteCSV or
+// exported from a monitoring system. The first row is treated as a header
+// (the second column's header becomes the series name); timestamps must be
+// evenly spaced and ascending — the spacing becomes BinSec.
+func ReadCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	records, err := cr.ReadAll()
+	if err != nil {
+		return Series{}, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(records) < 3 { // header + at least two samples to fix the bin width
+		return Series{}, errors.New("trace: CSV needs a header and at least two samples")
+	}
+	out := Series{Name: records[0][1]}
+	var prevT float64
+	for i, rec := range records[1:] {
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return Series{}, fmt.Errorf("trace: row %d timestamp %q: %w", i+1, rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return Series{}, fmt.Errorf("trace: row %d value %q: %w", i+1, rec[1], err)
+		}
+		switch i {
+		case 0:
+			if t != 0 {
+				return Series{}, fmt.Errorf("trace: first timestamp %g, want 0", t)
+			}
+		case 1:
+			if t <= 0 {
+				return Series{}, fmt.Errorf("trace: non-ascending timestamps at row %d", i+1)
+			}
+			out.BinSec = t
+		default:
+			want := prevT + out.BinSec
+			if diff := t - want; diff > 1e-6*out.BinSec || diff < -1e-6*out.BinSec {
+				return Series{}, fmt.Errorf("trace: uneven spacing at row %d (%g, want %g)", i+1, t, want)
+			}
+		}
+		prevT = t
+		out.Values = append(out.Values, v)
+	}
+	if err := out.Validate(); err != nil {
+		return Series{}, err
+	}
+	return out, nil
+}

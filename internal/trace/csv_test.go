@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := Diurnal(DiurnalConfig{
+		Name: "web", Base: 10, Peak: 100, PeakHour: 12, Noise: 0.1, BinSec: 300,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "web" || back.BinSec != 300 {
+		t.Fatalf("metadata lost: %q %g", back.Name, back.BinSec)
+	}
+	if len(back.Values) != len(orig.Values) {
+		t.Fatalf("length %d vs %d", len(back.Values), len(orig.Values))
+	}
+	for i := range orig.Values {
+		if back.Values[i] != orig.Values[i] {
+			t.Fatalf("value %d changed: %g vs %g", i, back.Values[i], orig.Values[i])
+		}
+	}
+}
+
+func TestWriteCSVInvalidSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Series{}).WriteCSV(&buf); err == nil {
+		t.Fatal("empty series written")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"too short", "seconds,x\n0,1\n"},
+		{"bad timestamp", "seconds,x\nzero,1\n60,2\n120,3\n"},
+		{"bad value", "seconds,x\n0,one\n60,2\n120,3\n"},
+		{"nonzero start", "seconds,x\n10,1\n70,2\n130,3\n"},
+		{"descending", "seconds,x\n0,1\n-60,2\n-120,3\n"},
+		{"uneven spacing", "seconds,x\n0,1\n60,2\n200,3\n"},
+		{"wrong columns", "seconds,x,y\n0,1,2\n"},
+		{"negative value", "seconds,x\n0,1\n60,-5\n120,3\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestReadCSVMinimal(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("seconds,load\n0,5\n30,7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "load" || s.BinSec != 30 || len(s.Values) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+}

@@ -1,0 +1,186 @@
+// Package trace synthesizes diurnal workload time series and computes the
+// consolidation-headroom statistics behind the paper's motivation (Figs. 1
+// and 2): the peak of a sum of workloads is lower than the sum of their
+// peaks, which is exactly the slack server consolidation converts into
+// saved machines.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Series is a regularly sampled workload intensity trace (e.g. requests/s
+// per time bin).
+type Series struct {
+	Name   string
+	BinSec float64   // seconds per bin
+	Values []float64 // intensity per bin
+}
+
+// Validate checks the series.
+func (s Series) Validate() error {
+	if len(s.Values) == 0 {
+		return errors.New("trace: empty series")
+	}
+	if s.BinSec <= 0 || math.IsNaN(s.BinSec) {
+		return fmt.Errorf("trace: bin width %g", s.BinSec)
+	}
+	for i, v := range s.Values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: bin %d value %g", i, v)
+		}
+	}
+	return nil
+}
+
+// Peak reports the series maximum.
+func (s Series) Peak() float64 { return stats.Max(s.Values) }
+
+// Mean reports the series mean.
+func (s Series) Mean() float64 { return stats.Mean(s.Values) }
+
+// PeakToMean reports the peak-to-mean ratio, the burstiness measure that
+// determines consolidation headroom (NaN for a zero-mean series).
+func (s Series) PeakToMean() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return math.NaN()
+	}
+	return s.Peak() / m
+}
+
+// DiurnalConfig parameterizes a synthetic one-day workload: a sinusoidal
+// daily cycle with a configurable peak hour, plus multiplicative noise —
+// the canonical shape of Internet-service traffic the paper's Fig. 2
+// sketches.
+type DiurnalConfig struct {
+	Name     string
+	Base     float64 // off-peak intensity floor, > 0
+	Peak     float64 // peak intensity, >= Base
+	PeakHour float64 // hour of day [0, 24) at which the cycle tops out
+	Noise    float64 // multiplicative noise amplitude in [0, 1)
+	BinSec   float64 // bin width; 0 means 60 s
+	Hours    float64 // duration; 0 means 24 h
+}
+
+// Diurnal synthesizes the series deterministically from the seed.
+func Diurnal(cfg DiurnalConfig, seed uint64) (Series, error) {
+	if cfg.Base <= 0 || cfg.Peak < cfg.Base {
+		return Series{}, fmt.Errorf("trace: base %g, peak %g", cfg.Base, cfg.Peak)
+	}
+	if cfg.Noise < 0 || cfg.Noise >= 1 {
+		return Series{}, fmt.Errorf("trace: noise %g", cfg.Noise)
+	}
+	bin := cfg.BinSec
+	if bin == 0 {
+		bin = 60
+	}
+	hours := cfg.Hours
+	if hours == 0 {
+		hours = 24
+	}
+	n := int(hours * 3600 / bin)
+	if n <= 0 {
+		return Series{}, fmt.Errorf("trace: %g hours at %gs bins", hours, bin)
+	}
+	s := stats.NewStream(seed, "trace/"+cfg.Name)
+	out := Series{Name: cfg.Name, BinSec: bin, Values: make([]float64, n)}
+	amp := (cfg.Peak - cfg.Base) / 2
+	mid := cfg.Base + amp
+	for i := 0; i < n; i++ {
+		hour := float64(i) * bin / 3600
+		phase := 2 * math.Pi * (hour - cfg.PeakHour) / 24
+		v := mid + amp*math.Cos(phase)
+		if cfg.Noise > 0 {
+			v *= 1 + cfg.Noise*(2*s.Float64()-1)
+		}
+		if v < 0 {
+			v = 0
+		}
+		out.Values[i] = v
+	}
+	return out, nil
+}
+
+// Sum adds aligned series bin-wise (the consolidated workload). All series
+// must share bin width and length.
+func Sum(series ...Series) (Series, error) {
+	if len(series) == 0 {
+		return Series{}, errors.New("trace: nothing to sum")
+	}
+	first := series[0]
+	out := Series{Name: "sum", BinSec: first.BinSec, Values: make([]float64, len(first.Values))}
+	for _, s := range series {
+		if s.BinSec != first.BinSec || len(s.Values) != len(first.Values) {
+			return Series{}, fmt.Errorf("trace: misaligned series %q", s.Name)
+		}
+		for i, v := range s.Values {
+			out.Values[i] += v
+		}
+	}
+	return out, nil
+}
+
+// Headroom is the Fig. 2 consolidation analysis of a set of workloads.
+type Headroom struct {
+	SumOfPeaks float64 // capacity dedicated hosting must provision
+	PeakOfSum  float64 // capacity consolidated hosting must provision
+	// Saving is 1 − PeakOfSum/SumOfPeaks: the provisioning fraction
+	// consolidation avoids before any virtualization overhead.
+	Saving float64
+	// ServersDedicated and ServersConsolidated translate the peaks into
+	// machine counts given a per-server capacity.
+	ServersDedicated    int
+	ServersConsolidated int
+}
+
+// Analyze computes the headroom of consolidating the given workloads onto
+// servers with the given per-server capacity (same intensity unit as the
+// series). Dedicated provisioning rounds each service's peak up
+// separately; consolidated provisioning rounds the summed peak up once.
+func Analyze(serverCapacity float64, series ...Series) (Headroom, error) {
+	if serverCapacity <= 0 || math.IsNaN(serverCapacity) {
+		return Headroom{}, fmt.Errorf("trace: server capacity %g", serverCapacity)
+	}
+	if len(series) == 0 {
+		return Headroom{}, errors.New("trace: no series")
+	}
+	var h Headroom
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return Headroom{}, err
+		}
+		p := s.Peak()
+		h.SumOfPeaks += p
+		h.ServersDedicated += int(math.Ceil(p / serverCapacity))
+	}
+	sum, err := Sum(series...)
+	if err != nil {
+		return Headroom{}, err
+	}
+	h.PeakOfSum = sum.Peak()
+	h.ServersConsolidated = int(math.Ceil(h.PeakOfSum / serverCapacity))
+	if h.SumOfPeaks > 0 {
+		h.Saving = 1 - h.PeakOfSum/h.SumOfPeaks
+	}
+	return h, nil
+}
+
+// CapacityLine reports the smallest provisioning level (same unit as the
+// series) that keeps the fraction of bins above it at or below
+// lossBudget — the horizontal "how many servers are needed to guarantee
+// performance ... in some probability level" line of Fig. 2(b). A
+// lossBudget of 0 returns the peak.
+func CapacityLine(s Series, lossBudget float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if lossBudget < 0 || lossBudget >= 1 {
+		return 0, fmt.Errorf("trace: loss budget %g", lossBudget)
+	}
+	return stats.Quantile(s.Values, 1-lossBudget), nil
+}

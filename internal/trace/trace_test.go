@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	s, err := Diurnal(DiurnalConfig{
+		Name: "web", Base: 100, Peak: 1000, PeakHour: 14,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 24*60 {
+		t.Fatalf("bins = %d", len(s.Values))
+	}
+	// Peak near the configured hour, trough 12h away.
+	peakBin := 14 * 60
+	troughBin := 2 * 60
+	if math.Abs(s.Values[peakBin]-1000) > 1 {
+		t.Fatalf("peak value %g", s.Values[peakBin])
+	}
+	if math.Abs(s.Values[troughBin]-100) > 1 {
+		t.Fatalf("trough value %g", s.Values[troughBin])
+	}
+	if s.Peak() < s.Mean() {
+		t.Fatal("peak below mean")
+	}
+	if s.PeakToMean() <= 1 {
+		t.Fatalf("peak-to-mean %g", s.PeakToMean())
+	}
+}
+
+func TestDiurnalNoiseAndDeterminism(t *testing.T) {
+	cfg := DiurnalConfig{Name: "x", Base: 50, Peak: 200, PeakHour: 10, Noise: 0.2}
+	a, err := Diurnal(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Diurnal(cfg, 7)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c, _ := Diurnal(cfg, 8)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestDiurnalErrors(t *testing.T) {
+	if _, err := Diurnal(DiurnalConfig{Base: 0, Peak: 1}, 1); err == nil {
+		t.Fatal("zero base accepted")
+	}
+	if _, err := Diurnal(DiurnalConfig{Base: 10, Peak: 5}, 1); err == nil {
+		t.Fatal("peak < base accepted")
+	}
+	if _, err := Diurnal(DiurnalConfig{Base: 1, Peak: 2, Noise: 1}, 1); err == nil {
+		t.Fatal("noise 1 accepted")
+	}
+	if _, err := Diurnal(DiurnalConfig{Base: 1, Peak: 2, Hours: 0.001, BinSec: 3600}, 1); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestSumAlignment(t *testing.T) {
+	a, _ := Diurnal(DiurnalConfig{Name: "a", Base: 10, Peak: 20, PeakHour: 3}, 1)
+	b, _ := Diurnal(DiurnalConfig{Name: "b", Base: 10, Peak: 20, PeakHour: 15}, 2)
+	sum, err := Sum(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum.Values {
+		if math.Abs(sum.Values[i]-(a.Values[i]+b.Values[i])) > 1e-12 {
+			t.Fatal("sum wrong")
+		}
+	}
+	short := Series{Name: "short", BinSec: 60, Values: []float64{1}}
+	if _, err := Sum(a, short); err == nil {
+		t.Fatal("misaligned sum accepted")
+	}
+	if _, err := Sum(); err == nil {
+		t.Fatal("empty sum accepted")
+	}
+}
+
+func TestAnalyzeAntiCorrelatedWorkloads(t *testing.T) {
+	// Two services peaking 12 h apart: the consolidated peak is far below
+	// the sum of peaks — the Fig. 2 story.
+	a, _ := Diurnal(DiurnalConfig{Name: "day", Base: 100, Peak: 1000, PeakHour: 14}, 1)
+	b, _ := Diurnal(DiurnalConfig{Name: "night", Base: 100, Peak: 1000, PeakHour: 2}, 2)
+	h, err := Analyze(500, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.SumOfPeaks-2000) > 2 {
+		t.Fatalf("sum of peaks %g", h.SumOfPeaks)
+	}
+	// Anti-phased sinusoids sum to a constant mid+mid = 1100.
+	if math.Abs(h.PeakOfSum-1100) > 5 {
+		t.Fatalf("peak of sum %g", h.PeakOfSum)
+	}
+	if h.Saving < 0.40 || h.Saving > 0.50 {
+		t.Fatalf("saving %g", h.Saving)
+	}
+	if h.ServersDedicated != 4 || h.ServersConsolidated != 3 {
+		t.Fatalf("servers %d -> %d", h.ServersDedicated, h.ServersConsolidated)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	a, _ := Diurnal(DiurnalConfig{Name: "a", Base: 1, Peak: 2}, 1)
+	if _, err := Analyze(0, a); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := Analyze(10); err == nil {
+		t.Fatal("no series accepted")
+	}
+	bad := Series{Name: "bad", BinSec: 60, Values: []float64{-1}}
+	if _, err := Analyze(10, bad); err == nil {
+		t.Fatal("invalid series accepted")
+	}
+}
+
+func TestCapacityLine(t *testing.T) {
+	s := Series{Name: "s", BinSec: 1, Values: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+	// Zero budget: the peak.
+	v, err := CapacityLine(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Fatalf("line = %g", v)
+	}
+	// 10 % budget: the 90th percentile.
+	v, err = CapacityLine(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-9.1) > 1e-12 {
+		t.Fatalf("line = %g", v)
+	}
+	if _, err := CapacityLine(s, 1); err == nil {
+		t.Fatal("budget 1 accepted")
+	}
+	if _, err := CapacityLine(Series{}, 0); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+// Property: consolidation never needs more provisioning than dedication
+// (peak of sum <= sum of peaks) and the saving is in [0, 1).
+func TestHeadroomProperty(t *testing.T) {
+	f := func(p1, p2 uint8, h1, h2 uint8) bool {
+		a, err := Diurnal(DiurnalConfig{
+			Name: "a", Base: 10, Peak: 10 + float64(p1),
+			PeakHour: float64(h1 % 24), BinSec: 600,
+		}, uint64(p1))
+		if err != nil {
+			return false
+		}
+		b, err := Diurnal(DiurnalConfig{
+			Name: "b", Base: 10, Peak: 10 + float64(p2),
+			PeakHour: float64(h2 % 24), BinSec: 600,
+		}, uint64(p2))
+		if err != nil {
+			return false
+		}
+		hr, err := Analyze(25, a, b)
+		if err != nil {
+			return false
+		}
+		return hr.PeakOfSum <= hr.SumOfPeaks+1e-9 && hr.Saving >= 0 && hr.Saving < 1 &&
+			hr.ServersConsolidated <= hr.ServersDedicated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
