@@ -7,9 +7,15 @@ package consolidation
 // sweeps run `go run ./cmd/repro` instead.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/queueing"
+	"repro/internal/replicate"
+	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -125,3 +131,35 @@ func BenchmarkSolveCaseStudy(b *testing.B) {
 // BenchmarkAblationDiurnal regenerates the nonstationary-traffic ablation:
 // stationary Erlang sizing against a full simulated day of diurnal load.
 func BenchmarkAblationDiurnal(b *testing.B) { benchExperiment(b, "ablation-diurnal") }
+
+// BenchmarkReplications measures the parallel replication engine on a fixed
+// 16-replication loss-system study, at one worker (the serial baseline) and
+// at all CPUs. Results are bit-identical across the two sub-benchmarks by
+// construction; only wall-clock should differ.
+func BenchmarkReplications(b *testing.B) {
+	cfg := queueing.Config{
+		Servers:  8,
+		Arrivals: workload.NewPoisson(6),
+		Service:  stats.NewExponential(1),
+		Horizon:  2_000,
+		Warmup:   200,
+		Seed:     42,
+	}
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			set, err := queueing.RunReplications(context.Background(), cfg, replicate.Config{
+				Replications: 16,
+				Workers:      workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(set.Results) != 16 {
+				b.Fatalf("got %d replications, want 16", len(set.Results))
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers=numcpu", func(b *testing.B) { run(b, runtime.NumCPU()) })
+}

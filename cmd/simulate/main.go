@@ -9,9 +9,13 @@
 //	simulate -mode consolidated -hosts 4 -alloc static
 //	simulate -mode consolidated -hosts 4 -alloc proportional -period 0.5 -cost 0.02
 //	simulate -mode consolidated -hosts 3 -mtbf 300 -mttr 30   (failure injection)
+//	simulate -mode consolidated -hosts 4 -reps 8               (replication study)
+//	simulate -reps 32 -precision 0.05 -workers 4 -timeout 2m   (CI-driven early stop)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/power"
 	"repro/internal/rainbow"
+	"repro/internal/replicate"
 	"repro/internal/virt"
 	"repro/internal/workload"
 )
@@ -43,6 +48,10 @@ func main() {
 	mttr := flag.Float64("mttr", 0, "mean time to repair (s)")
 	classes := flag.String("classes", "", `heterogeneous consolidated fleet, e.g. "amd:2,intel:3" `+
 		`(amd = reference; intel = 1/1.2 capability; blade = 1/2). Overrides -hosts.`)
+	reps := flag.Int("reps", 1, "independent replications (seed, seed+1, ...); >1 reports confidence intervals")
+	workers := flag.Int("workers", 0, "parallel replication workers (0 = all CPUs); never changes results")
+	precision := flag.Float64("precision", 0, "stop replicating once the 95% CI of pooled loss is relatively this tight (0 = off)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replication study (0 = none)")
 	flag.Parse()
 
 	die := func(format string, args ...any) {
@@ -119,6 +128,41 @@ func main() {
 	}
 
 	fmt.Printf("offered load: web %.0f req/s, db %.0f WIPS\n\n", lambdaW, lambdaD)
+
+	if *reps > 1 {
+		// Replication study: R parallel independent runs with seeds seed,
+		// seed+1, ..., merged in replication order (identical results for
+		// any -workers value), optionally stopped early once the pooled
+		// loss CI is tight enough.
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		set, err := cluster.Replications(ctx, cfg, replicate.Config{
+			Replications: *reps,
+			Workers:      *workers,
+			Precision:    *precision,
+		})
+		if errors.Is(err, context.DeadlineExceeded) && set != nil && len(set.Results) > 0 {
+			fmt.Printf("timeout after %d/%d replications; reporting the completed prefix\n\n",
+				len(set.Results), *reps)
+		} else if err != nil {
+			die("%v", err)
+		}
+		fmt.Println(set)
+		totalFailures := int64(0)
+		for _, r := range set.Results {
+			totalFailures += r.Failures
+		}
+		if totalFailures > 0 {
+			fmt.Printf("host failures injected: %d across %d replications\n",
+				totalFailures, len(set.Results))
+		}
+		return
+	}
+
 	res, err := cluster.Run(cfg)
 	if err != nil {
 		die("%v", err)

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/replicate"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ServiceCIs carries confidence intervals over one service's
+// per-replication metrics.
+type ServiceCIs struct {
+	Name       string
+	Loss       stats.CI // mean per-replication loss probability
+	Throughput stats.CI // mean per-replication throughput
+	RespMean   stats.CI // mean of per-replication mean response times
+	RespP95    stats.CI // mean of per-replication p95 estimates
+	RespP99    stats.CI // mean of per-replication p99 estimates
+}
+
+// ReplicationSet is the outcome of a replication study over Run.
+type ReplicationSet struct {
+	// Results holds one full Result per completed replication, in
+	// replication order.
+	Results []*Result
+
+	// Services aggregates each service's metrics across replications.
+	Services []ServiceCIs
+
+	// OverallLoss is the CI over the per-replication pooled loss
+	// probability (all services' losses over all services' arrivals) — the
+	// early-stop metric.
+	OverallLoss stats.CI
+
+	// TotalThroughput is the CI over per-replication total throughput.
+	TotalThroughput stats.CI
+
+	// BottleneckUtil is the CI over per-replication mean bottleneck
+	// utilization (the u_s the power model consumes).
+	BottleneckUtil stats.CI
+
+	// EarlyStopped reports whether the precision target was reached before
+	// all requested replications ran.
+	EarlyStopped bool
+}
+
+// overallLoss pools every service's counters into one loss probability.
+func overallLoss(res *Result) float64 {
+	var lost, arrived int64
+	for _, s := range res.Services {
+		lost += s.Lost
+		arrived += s.Arrivals
+	}
+	if arrived == 0 {
+		return 0
+	}
+	return float64(lost) / float64(arrived)
+}
+
+// cloneConfig deep-copies the parts of cfg a concurrent replication would
+// otherwise share: the Services slice and any stateful arrival processes.
+func cloneConfig(cfg Config, seed uint64) Config {
+	c := cfg
+	c.Seed = seed
+	c.Services = append([]ServiceSpec(nil), cfg.Services...)
+	for i := range c.Services {
+		if c.Services[i].Arrivals != nil {
+			c.Services[i].Arrivals = workload.Clone(c.Services[i].Arrivals)
+		}
+	}
+	return c
+}
+
+// Replications runs independent replications of cfg through the parallel
+// replication engine: replication r uses seed cfg.Seed+r (rcfg.Seed is
+// ignored), results merge in replication order so the outcome is identical
+// for any worker count, and rcfg.Precision > 0 enables CI-driven early
+// stopping on the pooled loss probability. Stateful arrival processes are
+// cloned per replication, so concurrent runs never share phase state.
+func Replications(ctx context.Context, cfg Config, rcfg replicate.Config) (*ReplicationSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rcfg.Replications <= 0 {
+		return nil, fmt.Errorf("%w: replications=%d", ErrInvalidConfig, rcfg.Replications)
+	}
+	rcfg.Seed = cfg.Seed
+	eng, err := replicate.Run(ctx, rcfg,
+		func(_ int, seed uint64) (*Result, error) {
+			return Run(cloneConfig(cfg, seed))
+		},
+		overallLoss)
+	if eng == nil {
+		return nil, err
+	}
+	set := aggregate(eng, rcfg.Confidence)
+	return set, err
+}
+
+// aggregate folds per-replication results into cross-replication CIs.
+func aggregate(eng *replicate.Result[*Result], confidence float64) *ReplicationSet {
+	if confidence == 0 {
+		confidence = 0.95
+	}
+	set := &ReplicationSet{
+		Results:      eng.Outputs,
+		OverallLoss:  eng.CI,
+		EarlyStopped: eng.EarlyStopped,
+	}
+	if len(eng.Outputs) == 0 {
+		return set
+	}
+	var total, bottleneck stats.Accumulator
+	nsvc := len(eng.Outputs[0].Services)
+	type svcAcc struct {
+		loss, thr, respMean, p95, p99 stats.Accumulator
+	}
+	accs := make([]svcAcc, nsvc)
+	for _, res := range eng.Outputs {
+		total.Add(res.TotalThroughput())
+		bottleneck.Add(res.MeanBottleneckUtilization())
+		for i := range res.Services {
+			sm := &res.Services[i]
+			accs[i].loss.Add(sm.LossProb)
+			accs[i].thr.Add(sm.Throughput)
+			if m := sm.ResponseTimes.Mean(); !math.IsNaN(m) {
+				accs[i].respMean.Add(m)
+			}
+			accs[i].p95.Add(sm.RespP95)
+			accs[i].p99.Add(sm.RespP99)
+		}
+	}
+	set.TotalThroughput = total.MeanCI(confidence)
+	set.BottleneckUtil = bottleneck.MeanCI(confidence)
+	for i := range accs {
+		set.Services = append(set.Services, ServiceCIs{
+			Name:       eng.Outputs[0].Services[i].Name,
+			Loss:       accs[i].loss.MeanCI(confidence),
+			Throughput: accs[i].thr.MeanCI(confidence),
+			RespMean:   accs[i].respMean.MeanCI(confidence),
+			RespP95:    accs[i].p95.MeanCI(confidence),
+			RespP99:    accs[i].p99.MeanCI(confidence),
+		})
+	}
+	return set
+}
+
+// String renders a compact cross-replication report.
+func (s *ReplicationSet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d replications", len(s.Results))
+	if s.EarlyStopped {
+		b.WriteString(" (early stop)")
+	}
+	fmt.Fprintf(&b, ", pooled loss %s\n", s.OverallLoss)
+	for _, svc := range s.Services {
+		fmt.Fprintf(&b, "  %-20s thr=%8.2f ±%-7.2f loss=%6.4f ±%-7.4f resp=%7.4fs ±%.4f\n",
+			svc.Name, svc.Throughput.Point, svc.Throughput.HalfWidth(),
+			svc.Loss.Point, svc.Loss.HalfWidth(),
+			svc.RespMean.Point, svc.RespMean.HalfWidth())
+	}
+	fmt.Fprintf(&b, "  total throughput %s\n  mean bottleneck utilization %s",
+		s.TotalThroughput, s.BottleneckUtil)
+	return b.String()
+}

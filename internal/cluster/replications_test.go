@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/replicate"
+	"repro/internal/workload"
+)
+
+// replCfg is a small consolidated experiment with a *stateful* arrival
+// process (MMPP2), so the tests also cover per-replication cloning: sharing
+// one MMPP2 across replications would leak phase state and break
+// determinism.
+func replCfg() Config {
+	spec := flatSpec(workload.NewMMPP2(8, 2, 3, 3)) // mean rate 5
+	spec.DedicatedServers = 0
+	return Config{
+		Mode:                Consolidated,
+		Services:            []ServiceSpec{spec},
+		ConsolidatedServers: 2,
+		Horizon:             400,
+		Warmup:              40,
+		Seed:                29,
+	}
+}
+
+func sameResult(a, b *Result) bool {
+	if len(a.Services) != len(b.Services) {
+		return false
+	}
+	for i := range a.Services {
+		x, y := a.Services[i], b.Services[i]
+		if x.Arrivals != y.Arrivals || x.Served != y.Served || x.Lost != y.Lost ||
+			x.Throughput != y.Throughput || x.RespP95 != y.RespP95 {
+			return false
+		}
+	}
+	for i := range a.Hosts {
+		if a.Hosts[i].Bottleneck != b.Hosts[i].Bottleneck {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplicationsDeterministicAcrossWorkers: merged results are
+// bit-identical for workers 1 and 4, and replication 0 reproduces a plain
+// Run with the base seed (so R=1 studies equal single runs exactly).
+func TestReplicationsDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	cfg := replCfg()
+	single, err := Run(cloneConfig(cfg, cfg.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *ReplicationSet
+	for _, workers := range []int{1, 4} {
+		set, err := Replications(ctx, cfg, replicate.Config{Replications: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set.Results) != 4 {
+			t.Fatalf("workers=%d: %d results", workers, len(set.Results))
+		}
+		if !sameResult(set.Results[0], single) {
+			t.Fatalf("workers=%d: replication 0 diverged from plain Run", workers)
+		}
+		if ref == nil {
+			ref = set
+			continue
+		}
+		for i := range ref.Results {
+			if !sameResult(set.Results[i], ref.Results[i]) {
+				t.Fatalf("workers=%d: replication %d diverged", workers, i)
+			}
+		}
+		if set.OverallLoss != ref.OverallLoss || set.TotalThroughput != ref.TotalThroughput ||
+			set.BottleneckUtil != ref.BottleneckUtil {
+			t.Fatalf("workers=%d: aggregate CIs diverged", workers)
+		}
+	}
+	// The original config's arrival process must be untouched by cloning:
+	// a fresh study from the same config reproduces the same bytes.
+	again, err := Replications(ctx, cfg, replicate.Config{Replications: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.OverallLoss != ref.OverallLoss {
+		t.Fatal("re-running the study from the same config diverged (arrival state leaked)")
+	}
+}
+
+func TestReplicationsAggregates(t *testing.T) {
+	cfg := replCfg()
+	set, err := Replications(context.Background(), cfg, replicate.Config{Replications: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Services) != 1 || set.Services[0].Name != "flat" {
+		t.Fatalf("services %+v", set.Services)
+	}
+	svc := set.Services[0]
+	if svc.Throughput.Point <= 0 || svc.RespMean.Point <= 0 {
+		t.Fatalf("degenerate service CIs %+v", svc)
+	}
+	if set.TotalThroughput.Point != svc.Throughput.Point {
+		t.Fatalf("total %v != sole service %v", set.TotalThroughput.Point, svc.Throughput.Point)
+	}
+	if set.BottleneckUtil.Point <= 0 || set.BottleneckUtil.Point > 1 {
+		t.Fatalf("bottleneck utilization %v", set.BottleneckUtil.Point)
+	}
+	out := set.String()
+	if !strings.Contains(out, "3 replications") || !strings.Contains(out, "flat") {
+		t.Fatalf("report: %s", out)
+	}
+
+	if _, err := Replications(context.Background(), cfg, replicate.Config{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("zero replications: %v", err)
+	}
+	bad := cfg
+	bad.Horizon = 0
+	if _, err := Replications(context.Background(), bad, replicate.Config{Replications: 2}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("invalid config: %v", err)
+	}
+}
+
+// TestReplicationsEarlyStop: with loose precision the study stops at the
+// floor instead of burning all replications.
+func TestReplicationsEarlyStop(t *testing.T) {
+	cfg := replCfg()
+	set, err := Replications(context.Background(), cfg,
+		replicate.Config{Replications: 12, Precision: 10, MinReplications: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.EarlyStopped || len(set.Results) != 2 {
+		t.Fatalf("early=%v n=%d, want stop at the floor of 2", set.EarlyStopped, len(set.Results))
+	}
+}

@@ -89,6 +89,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	r.res = newResult(&cfg)
 	r.build()
+	if cfg.Warmup > 0 {
+		// Snapshot delivered work at the warmup boundary so finish() can
+		// scope utilization to the same post-warmup window as loss and
+		// throughput.
+		r.sim.At(cfg.Warmup, func() {
+			for _, h := range r.hosts {
+				h.everyStation(func(st *station) { st.snapshotWarmup() })
+			}
+		})
+	}
 	r.startDrivers()
 	if cfg.MTBF > 0 {
 		r.startFailures()
@@ -303,16 +313,21 @@ func (r *runner) dispatch(svc, client int) {
 	r.admit(req)
 }
 
-// pickHost advances the service's round-robin cursor to the next live host.
+// pickHost returns the next live host in round-robin order. Down hosts are
+// probed but do not burn cursor positions: the cursor lands just past the
+// host actually chosen, so a failed host never shifts the rotation among
+// the survivors.
 func (r *runner) pickHost(svc int) *host {
 	pool := r.byService[svc]
-	if len(pool) == 0 {
+	n := len(pool)
+	if n == 0 {
 		return nil
 	}
-	for k := 0; k < len(pool); k++ {
-		h := pool[r.rrNext[svc]%len(pool)]
-		r.rrNext[svc]++
-		if h.up {
+	start := r.rrNext[svc] % n
+	for k := 0; k < n; k++ {
+		idx := (start + k) % n
+		if h := pool[idx]; h.up {
+			r.rrNext[svc] = idx + 1
 			return h
 		}
 	}
@@ -386,7 +401,9 @@ func (r *runner) onStationDone(req *request, _ *station) {
 func (r *runner) completeRequest(req *request) {
 	req.host.inflight--
 	sm := &r.res.Services[req.service]
-	if req.counted && r.sim.Now() >= r.cfg.Warmup {
+	// counted implies the arrival was post-warmup, and time only moves
+	// forward, so no boundary re-check is needed here.
+	if req.counted {
 		sm.Served++
 		rt := r.sim.Now() - req.arrived
 		sm.ResponseTimes.Add(rt)
@@ -422,7 +439,7 @@ func (r *runner) startFailures() {
 			for _, req := range victims {
 				req.dead = true
 				h.inflight--
-				if req.counted && r.sim.Now() >= r.cfg.Warmup {
+				if req.counted {
 					r.res.Services[req.service].Lost++
 				}
 				if req.client >= 0 {
@@ -450,7 +467,6 @@ func (r *runner) startFailures() {
 
 // finish closes statistics at the horizon.
 func (r *runner) finish() {
-	now := r.cfg.Horizon
 	window := r.cfg.Horizon - r.cfg.Warmup
 	for i := range r.res.Services {
 		sm := &r.res.Services[i]
@@ -471,9 +487,11 @@ func (r *runner) finish() {
 		hm := HostMetrics{ID: h.id, Utilization: map[string]float64{}}
 		collect := func(st *station, res string) {
 			st.advance()
-			// Delivered work normalized by the host's full capacity on
-			// the resource: a fraction of the machine kept busy.
-			u := st.workDone / (now * h.capability(res))
+			// Work delivered inside the observation window, normalized by
+			// the host's full capacity on the resource over that window: a
+			// fraction of the machine kept busy — the same interval loss
+			// and throughput are scoped to.
+			u := st.windowWork() / (window * h.capability(res))
 			hm.Utilization[res] += u
 		}
 		for res, st := range h.stations {
@@ -491,7 +509,6 @@ func (r *runner) finish() {
 			if hm.Utilization[res] > hm.Bottleneck {
 				hm.Bottleneck = hm.Utilization[res]
 			}
-			_ = res
 		}
 		r.res.Hosts = append(r.res.Hosts, hm)
 	}

@@ -40,6 +40,7 @@ type station struct {
 	lastUpdate desim.Time
 	busy       desim.TimeAverage // 0/1 busy indicator
 	workDone   float64
+	warmWork   float64 // workDone at the warmup boundary
 
 	pending desim.Handle // the station's next-completion event
 	onDone  func(*request, *station)
@@ -84,6 +85,18 @@ func (st *station) advance() {
 	}
 	st.workDone += st.capacity * dt
 }
+
+// snapshotWarmup records the work delivered so far, marking the start of
+// the observation window. advance is idempotent at a fixed timestamp (work
+// deposited at the boundary drains only after it), so the snapshot does not
+// depend on event ordering within the boundary instant.
+func (st *station) snapshotWarmup() {
+	st.advance()
+	st.warmWork = st.workDone
+}
+
+// windowWork reports the work delivered since the warmup snapshot.
+func (st *station) windowWork() float64 { return st.workDone - st.warmWork }
 
 // setCapacity changes the station's capacity (resource flowing / Rainbow
 // rebalancing), draining work at the old rate first.

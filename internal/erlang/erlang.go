@@ -120,7 +120,22 @@ func Servers(rho, target float64, maxServers int) (int, error) {
 	if b <= target {
 		return 0, nil
 	}
-	for n := 1; n <= maxServers; n++ {
+	// Carried traffic cannot exceed the server count, so B(n, ρ) ≥ 1 − n/ρ:
+	// every n below ρ(1 − target) is guaranteed to fail the test. Seed the
+	// search there, running the recursion branch-free up to that point
+	// (shaved by two steps to absorb floating-point slack in the bound),
+	// then continue stepping with the threshold check. Identical results to
+	// the full scan — the recursion values are the same — without testing
+	// the ~ρ server counts that cannot possibly qualify.
+	skip := int(rho*(1-target)) - 2
+	if skip > maxServers {
+		skip = maxServers
+	}
+	n := 1
+	for ; n <= skip; n++ {
+		b = rho * b / (float64(n) + rho*b)
+	}
+	for ; n <= maxServers; n++ {
 		b = rho * b / (float64(n) + rho*b)
 		if b <= target {
 			return n, nil

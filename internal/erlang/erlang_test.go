@@ -365,3 +365,53 @@ func BenchmarkErlangServers(b *testing.B) {
 		_, _ = Servers(950, 0.01, 0)
 	}
 }
+
+// serversLinearScan is the pre-optimization implementation of Servers — a
+// plain scan checking every n from 1 — kept as the oracle for the seeded
+// search.
+func serversLinearScan(rho, target float64, maxServers int) (int, bool) {
+	if rho == 0 {
+		return 0, true
+	}
+	b := 1.0
+	if b <= target {
+		return 0, true
+	}
+	for n := 1; n <= maxServers; n++ {
+		b = rho * b / (float64(n) + rho*b)
+		if b <= target {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// TestServersMatchesLinearScan cross-checks the seeded search against the
+// plain scan over a grid spanning tiny to large traffic and loose to tight
+// targets — the two must agree exactly, including on cap overflows.
+func TestServersMatchesLinearScan(t *testing.T) {
+	rhos := []float64{0.01, 0.1, 0.5, 1, 1.52, 2, 5, 9.9, 37.5, 100, 317.2, 1000, 12345.6}
+	targets := []float64{1e-6, 1e-3, 0.01, 0.02, 0.05, 0.1, 0.3, 0.5, 0.9, 0.999, 1}
+	const cap = 100_000
+	for _, rho := range rhos {
+		for _, target := range targets {
+			want, ok := serversLinearScan(rho, target, cap)
+			got, err := Servers(rho, target, cap)
+			if ok != (err == nil) {
+				t.Fatalf("Servers(%g, %g): err=%v, scan ok=%v", rho, target, err, ok)
+			}
+			if ok && got != want {
+				t.Errorf("Servers(%g, %g) = %d, linear scan %d", rho, target, got, want)
+			}
+		}
+	}
+	// Degenerate caps: the seeded search must still respect tiny caps that
+	// sit inside the skipped range.
+	for _, cap := range []int{1, 2, 10} {
+		want, ok := serversLinearScan(1000, 0.01, cap)
+		got, err := Servers(1000, 0.01, cap)
+		if ok != (err == nil) || (ok && got != want) {
+			t.Errorf("cap %d: got (%d, %v), scan (%d, %v)", cap, got, err, want, ok)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
 	"repro/internal/power"
+	"repro/internal/replicate"
 	"repro/internal/stats"
 	"repro/internal/virt"
 	"repro/internal/workload"
@@ -31,27 +33,31 @@ type Fig9Result struct {
 
 // Fig9 sweeps both services on dedicated 4-server pools to locate the
 // intensive workloads: the knees where more load stops helping (DB WIPS
-// saturates at the pool limit; Web response time turns upward).
+// saturates at the pool limit; Web response time turns upward). Each sweep
+// point averages parallel independent replications through the replication
+// engine — the knees are read off noisy curves, so the variance reduction
+// matters here.
 func Fig9(cfg Config) (*Fig9Result, error) {
 	// Closed-loop emulated browsers think for 7 s between interactions, so
 	// the horizon must dominate the think time even in Quick mode.
 	horizon := cfg.scale(240)
 	warmup := horizon / 4
 	res := &Fig9Result{WIPSLimit: 4 * workload.DBCPURate}
+	reps := replicate.Config{Replications: 2}
 
 	for _, eb := range sweepLoads(cfg, 500, 5000, 500) {
-		out, err := cluster.Run(cluster.Config{
+		set, err := cluster.Replications(context.Background(), cluster.Config{
 			Mode:     cluster.Dedicated,
 			Services: []cluster.ServiceSpec{dbClosedSpec(int(eb), 4)},
 			Horizon:  horizon,
 			Warmup:   warmup,
 			Seed:     cfg.Seed + uint64(eb),
-		})
+		}, reps)
 		if err != nil {
 			return nil, err
 		}
 		res.EBs = append(res.EBs, eb)
-		res.WIPS = append(res.WIPS, out.TotalThroughput())
+		res.WIPS = append(res.WIPS, set.TotalThroughput.Point)
 	}
 
 	for _, sessions := range sweepLoads(cfg, 400, 3200, 400) {
@@ -69,18 +75,18 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 			),
 			DedicatedServers: 4,
 		}
-		out, err := cluster.Run(cluster.Config{
+		set, err := cluster.Replications(context.Background(), cluster.Config{
 			Mode:     cluster.Dedicated,
 			Services: []cluster.ServiceSpec{spec},
 			Horizon:  horizon,
 			Warmup:   warmup,
 			Seed:     cfg.Seed + uint64(sessions)*3,
-		})
+		}, reps)
 		if err != nil {
 			return nil, err
 		}
 		res.Sessions = append(res.Sessions, sessions)
-		res.RespTime = append(res.RespTime, out.Services[0].ResponseTimes.Mean())
+		res.RespTime = append(res.RespTime, set.Services[0].RespMean.Point)
 	}
 
 	// The selection rule: the knee sits at SaturationIntensity of pool

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/erlang"
 	"repro/internal/queueing"
+	"repro/internal/replicate"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -333,11 +335,24 @@ type ModelValResult struct {
 // discrete-event simulation: homogeneous pools (where every reading
 // coincides and Erlang B is exact), and the heterogeneous case-study mix
 // (where the readings diverge and the work-conserving harmonic form tracks
-// the simulation).
+// the simulation). Each operating point is estimated by parallel
+// independent replications with CI-driven early stopping — the noisiest
+// sweep in the suite, and the one the replication engine pays off most on.
 func ModelVal(cfg Config) (*ModelValResult, error) {
 	horizon := cfg.scale(6000)
 	warmup := horizon / 10
 	res := &ModelValResult{}
+	reps := replicate.Config{
+		Replications:    4,
+		Precision:       0.05,
+		MinReplications: 2,
+	}
+	if cfg.Quick {
+		reps.Replications = 2
+	}
+	study := func(c queueing.Config) (*queueing.ReplicationSet, error) {
+		return queueing.RunReplications(context.Background(), c, reps)
+	}
 
 	// Homogeneous sweeps: M/M/n/n and M/G/n/n vs Erlang B.
 	homo := []struct {
@@ -360,7 +375,7 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 		default:
 			svc = stats.HyperExpWithSCV(1, h.scv)
 		}
-		sim, err := queueing.Simulate(queueing.Config{
+		set, err := study(queueing.Config{
 			Servers:  h.n,
 			Arrivals: workload.NewPoisson(h.rho),
 			Service:  svc,
@@ -377,9 +392,9 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 			Servers:   h.n,
 			Traffic:   h.rho,
 			ModelLoss: want,
-			SimLoss:   sim.LossProb,
-			SimCI:     sim.LossCI,
-			AbsErr:    abs(sim.LossProb - want),
+			SimLoss:   set.LossCI.Point,
+			SimCI:     set.LossCI,
+			AbsErr:    abs(set.LossCI.Point - want),
 		})
 	}
 
@@ -404,7 +419,7 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 		m2: 1 / (workload.DBCPURate * aDC),
 	}
 	for _, n := range []int{4, 6, 8, 10} {
-		sim, err := queueing.Simulate(queueing.Config{
+		set, err := study(queueing.Config{
 			Servers:  n,
 			Arrivals: workload.NewPoisson(lambda),
 			Service:  mix,
@@ -432,9 +447,9 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 				Traffic:   rho,
 				Form:      form,
 				ModelLoss: worst,
-				SimLoss:   sim.LossProb,
-				SimCI:     sim.LossCI,
-				AbsErr:    abs(sim.LossProb - worst),
+				SimLoss:   set.LossCI.Point,
+				SimCI:     set.LossCI,
+				AbsErr:    abs(set.LossCI.Point - worst),
 			})
 		}
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/replicate"
 	"repro/internal/virt"
 	"repro/internal/workload"
 )
@@ -26,9 +28,11 @@ type OverheadResult struct {
 
 // overheadSweep runs the single-host throughput sweep underlying
 // Figs. 5/6/8: one physical server, driven natively and with v = 1..maxVMs
-// co-located VMs of the same service.
+// co-located VMs of the same service. Each point averages `replications`
+// parallel independent replications (1 = a single run, bit-identical to the
+// pre-engine sweep).
 func overheadSweep(cfg Config, id string, profile workload.ServiceProfile,
-	overhead virt.HostOverhead, loads []float64, closedLoop bool, maxVMs int) (*OverheadResult, error) {
+	overhead virt.HostOverhead, loads []float64, closedLoop bool, maxVMs, replications int) (*OverheadResult, error) {
 
 	horizon := cfg.scale(40)
 	warmup := horizon / 5
@@ -85,11 +89,12 @@ func overheadSweep(cfg Config, id string, profile workload.ServiceProfile,
 		c.Horizon = horizon
 		c.Warmup = warmup
 		c.Seed = seed
-		out, err := cluster.Run(c)
+		set, err := cluster.Replications(context.Background(), c,
+			replicate.Config{Replications: replications})
 		if err != nil {
 			return 0, err
 		}
-		return out.TotalThroughput(), nil
+		return set.TotalThroughput.Point, nil
 	}
 
 	for v := 0; v <= maxVMs; v++ {
@@ -216,7 +221,7 @@ func maxVMsFor(cfg Config) int {
 // impact factor fits a declining line (a = 1.082 − 0.102·v reconstructed).
 func Fig5(cfg Config) (*OverheadResult, error) {
 	res, err := overheadSweep(cfg, "fig5", workload.SPECwebEcommerce(),
-		virt.WebHostOverhead(), sweepLoads(cfg, 100, 1500, 100), false, maxVMsFor(cfg))
+		virt.WebHostOverhead(), sweepLoads(cfg, 100, 1500, 100), false, maxVMsFor(cfg), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +244,7 @@ func runFig5(cfg Config) ([]*Table, error) {
 // a = 0.658 − 0.0139·v.
 func Fig6(cfg Config) (*OverheadResult, error) {
 	res, err := overheadSweep(cfg, "fig6", workload.SPECwebCPUBound(),
-		virt.WebHostOverhead(), sweepLoads(cfg, 400, 4000, 400), false, maxVMsFor(cfg))
+		virt.WebHostOverhead(), sweepLoads(cfg, 400, 4000, 400), false, maxVMsFor(cfg), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -260,10 +265,12 @@ func runFig6(cfg Config) ([]*Table, error) {
 // Fig8 reproduces the TPC-W DB sweep: closed-loop emulated browsers over a
 // 2.7 GB database. Native Linux and one VM sit at roughly half the
 // multi-VM plateau (the OS-software ceiling), and the impact factor fits
-// the saturating rational a = 1.85·v²/(1+v²).
+// the saturating rational a = 1.85·v²/(1+v²). The rational fit is the
+// noisiest regression in the suite, so each point averages two parallel
+// replications.
 func Fig8(cfg Config) (*OverheadResult, error) {
 	res, err := overheadSweep(cfg, "fig8", workload.TPCWEbook(),
-		virt.DBHostOverhead(), sweepLoads(cfg, 200, 2200, 200), true, maxVMsFor(cfg))
+		virt.DBHostOverhead(), sweepLoads(cfg, 200, 2200, 200), true, maxVMsFor(cfg), 2)
 	if err != nil {
 		return nil, err
 	}

@@ -8,11 +8,13 @@
 package queueing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/desim"
+	"repro/internal/replicate"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -237,24 +239,69 @@ func Simulate(cfg Config) (*Result, error) {
 	return &res, nil
 }
 
+// ReplicationSet is the outcome of a replication study over Simulate.
+type ReplicationSet struct {
+	// Results holds one full Result per completed replication, in
+	// replication order.
+	Results []*Result
+
+	// Losses is the per-replication loss probability.
+	Losses []float64
+
+	// LossCI is the Student-t confidence interval over Losses.
+	LossCI stats.CI
+
+	// EarlyStopped reports whether the precision target was reached before
+	// all requested replications ran.
+	EarlyStopped bool
+}
+
+// RunReplications runs independent replications of cfg through the parallel
+// replication engine: replication r uses seed cfg.Seed+r (rcfg.Seed is
+// ignored), results merge in replication order so the outcome is identical
+// for any worker count, and rcfg.Precision > 0 enables CI-driven early
+// stopping on the loss probability. Stateful arrival processes are cloned
+// per replication, so concurrent runs never share phase state.
+func RunReplications(ctx context.Context, cfg Config, rcfg replicate.Config) (*ReplicationSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rcfg.Replications <= 0 {
+		return nil, fmt.Errorf("%w: replications=%d", ErrInvalidConfig, rcfg.Replications)
+	}
+	rcfg.Seed = cfg.Seed
+	eng, err := replicate.Run(ctx, rcfg,
+		func(_ int, seed uint64) (*Result, error) {
+			c := cfg
+			c.Seed = seed
+			c.Arrivals = workload.Clone(cfg.Arrivals)
+			return Simulate(c)
+		},
+		func(res *Result) float64 { return res.LossProb })
+	if eng == nil {
+		return nil, err
+	}
+	set := &ReplicationSet{
+		Results:      eng.Outputs,
+		Losses:       eng.Metrics,
+		LossCI:       eng.CI,
+		EarlyStopped: eng.EarlyStopped,
+	}
+	return set, err
+}
+
 // Replications runs the same configuration with seeds seed, seed+1, ... and
 // returns per-replication loss probabilities plus an aggregate CI — the
-// independent-replications method for tight confidence intervals.
+// independent-replications method for tight confidence intervals. It is a
+// thin serial-compatible wrapper over RunReplications; callers wanting
+// worker control, early stopping or cancellation should use that directly.
 func Replications(cfg Config, replications int) ([]float64, stats.CI, error) {
 	if replications <= 0 {
 		return nil, stats.CI{}, fmt.Errorf("%w: replications=%d", ErrInvalidConfig, replications)
 	}
-	losses := make([]float64, 0, replications)
-	var acc stats.Accumulator
-	for r := 0; r < replications; r++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(r)
-		res, err := Simulate(c)
-		if err != nil {
-			return nil, stats.CI{}, err
-		}
-		losses = append(losses, res.LossProb)
-		acc.Add(res.LossProb)
+	set, err := RunReplications(context.Background(), cfg, replicate.Config{Replications: replications})
+	if err != nil {
+		return nil, stats.CI{}, err
 	}
-	return losses, acc.MeanCI(0.95), nil
+	return set.Losses, set.LossCI, nil
 }

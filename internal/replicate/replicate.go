@@ -1,0 +1,269 @@
+// Package replicate is the shared parallel replication engine behind the
+// independent-replications method every simulator in this repository uses.
+// It runs R statistically independent replications of an arbitrary
+// simulation function across a bounded worker pool, with:
+//
+//   - deterministic seed derivation: replication r runs with seed base+r, so
+//     replication 0 of an R=1 study reproduces a plain single run bit for
+//     bit;
+//   - order-independent output: results are merged in replication-index
+//     order, so the merged output is identical for any worker count;
+//   - context-based cancellation and timeouts, returning the completed
+//     contiguous prefix of replications alongside ctx.Err();
+//   - optional CI-driven early stopping: once the confidence interval of a
+//     caller-chosen scalar metric over the first k replications is
+//     relatively tighter than a requested precision, replications beyond k
+//     are cancelled and discarded.
+//
+// Early stopping is evaluated on contiguous prefixes in increasing length
+// order, never on whichever subset happened to finish first. The stopping
+// point is therefore a pure function of the replication outputs — running
+// with 1 worker or NumCPU workers stops at the same k and returns the same
+// bytes.
+package replicate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// ErrInvalidConfig reports an unusable engine configuration.
+var ErrInvalidConfig = errors.New("replicate: invalid config")
+
+// Config controls one replication study.
+type Config struct {
+	// Replications is the number of independent replications R (required,
+	// >= 1). With early stopping enabled it is the maximum.
+	Replications int
+
+	// Workers bounds the number of concurrently running replications.
+	// Zero or negative selects runtime.GOMAXPROCS(0). The worker count
+	// never affects results, only wall-clock time.
+	Workers int
+
+	// Seed is the base seed; replication r runs with Seed+r.
+	Seed uint64
+
+	// Precision enables CI-driven early stopping when positive: stop after
+	// the smallest prefix of replications whose metric confidence interval
+	// has RelativeHalfWidth <= Precision. Zero runs all R replications.
+	Precision float64
+
+	// Confidence is the CI level for early stopping (default 0.95).
+	Confidence float64
+
+	// MinReplications is the smallest prefix early stopping may accept
+	// (default 3, floor 2 — a CI needs at least two observations).
+	MinReplications int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Replications {
+		c.Workers = c.Replications
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.MinReplications == 0 {
+		c.MinReplications = 3
+	}
+	if c.MinReplications < 2 {
+		c.MinReplications = 2
+	}
+	if c.MinReplications > c.Replications {
+		c.MinReplications = c.Replications
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Replications <= 0 {
+		return fmt.Errorf("%w: replications=%d", ErrInvalidConfig, c.Replications)
+	}
+	if c.Precision < 0 {
+		return fmt.Errorf("%w: precision=%g", ErrInvalidConfig, c.Precision)
+	}
+	if c.Confidence < 0 || c.Confidence >= 1 {
+		return fmt.Errorf("%w: confidence=%g", ErrInvalidConfig, c.Confidence)
+	}
+	return nil
+}
+
+// Result carries the merged outputs of a replication study.
+type Result[T any] struct {
+	// Outputs holds one entry per completed replication, in replication
+	// order (Outputs[i] ran with seed base+i).
+	Outputs []T
+
+	// Metrics holds the early-stop metric per replication (nil when no
+	// metric function was supplied).
+	Metrics []float64
+
+	// CI is the Student-t confidence interval over Metrics (zero value
+	// when no metric function was supplied).
+	CI stats.CI
+
+	// EarlyStopped reports whether the precision target cut the study
+	// short of Requested replications.
+	EarlyStopped bool
+
+	// Requested is the configured replication count R.
+	Requested int
+}
+
+// outcome is one replication's report back to the collector.
+type outcome[T any] struct {
+	rep int
+	out T
+	err error
+}
+
+// Run executes the study. sim runs one replication — it receives the
+// replication index and its derived seed and must be safe to call
+// concurrently (clone any shared mutable inputs). metric extracts the
+// early-stop scalar from one output; pass nil to disable early stopping.
+//
+// On a simulation error the engine stops launching work, waits for
+// in-flight replications, and returns the error of the lowest-index failed
+// replication (matching what a serial loop would have hit first). On
+// context cancellation it returns the completed contiguous prefix together
+// with ctx.Err().
+func Run[T any](ctx context.Context, cfg Config, sim func(rep int, seed uint64) (T, error), metric func(T) float64) (*Result[T], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sim == nil {
+		return nil, fmt.Errorf("%w: nil sim function", ErrInvalidConfig)
+	}
+	cfg = cfg.withDefaults()
+	R := cfg.Replications
+
+	var (
+		mu      sync.Mutex
+		next    int  // next replication index to hand out
+		stopped bool // set on early stop, error, or cancellation
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || next >= R {
+			return 0, false
+		}
+		rep := next
+		next++
+		return rep, true
+	}
+	halt := func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+
+	// Buffered to R so workers never block on send, even after the
+	// collector stops reading.
+	results := make(chan outcome[T], R)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				rep, ok := claim()
+				if !ok {
+					return
+				}
+				out, err := sim(rep, cfg.Seed+uint64(rep))
+				results <- outcome[T]{rep: rep, out: out, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var (
+		outputs  = make([]T, R)
+		done     = make([]bool, R)
+		metrics  []float64
+		frontier int // replications 0..frontier-1 all completed
+		stopAt   = -1
+		firstErr error
+		errRep   = R
+	)
+	if metric != nil {
+		metrics = make([]float64, 0, R)
+	}
+	useEarlyStop := metric != nil && cfg.Precision > 0
+
+	for oc := range results {
+		if oc.err != nil {
+			if oc.rep < errRep {
+				errRep = oc.rep
+				firstErr = fmt.Errorf("replication %d: %w", oc.rep, oc.err)
+			}
+			halt()
+			continue
+		}
+		outputs[oc.rep] = oc.out
+		done[oc.rep] = true
+		// Advance the contiguous frontier and evaluate the stopping rule at
+		// every new prefix length, smallest first — the stopping index is
+		// then independent of completion order.
+		for frontier < R && done[frontier] {
+			if metric != nil {
+				metrics = append(metrics, metric(outputs[frontier]))
+			}
+			frontier++
+			if useEarlyStop && stopAt < 0 && frontier >= cfg.MinReplications {
+				if prefixCI(metrics[:frontier], cfg.Confidence).RelativeHalfWidth() <= cfg.Precision {
+					stopAt = frontier
+					halt()
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			halt()
+		}
+	}
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result[T]{Requested: R}
+	n := frontier
+	if stopAt >= 0 && stopAt < R {
+		n = stopAt
+		res.EarlyStopped = true
+	}
+	res.Outputs = outputs[:n:n]
+	if metric != nil {
+		res.Metrics = metrics[:n:n]
+		res.CI = prefixCI(res.Metrics, cfg.Confidence)
+	}
+	if err := ctx.Err(); err != nil && n < R && !res.EarlyStopped {
+		return res, err
+	}
+	return res, nil
+}
+
+// prefixCI computes the Student-t mean CI over the given metric prefix.
+func prefixCI(metrics []float64, confidence float64) stats.CI {
+	var acc stats.Accumulator
+	for _, m := range metrics {
+		acc.Add(m)
+	}
+	return acc.MeanCI(confidence)
+}

@@ -207,6 +207,23 @@ func (c CI) HalfWidth() float64 { return (c.Hi - c.Lo) / 2 }
 // Contains reports whether x lies inside the interval.
 func (c CI) Contains(x float64) bool { return x >= c.Lo && x <= c.Hi }
 
+// RelativeHalfWidth reports the half width divided by |Point| — the
+// relative-precision figure replication studies stop on. A degenerate
+// interval (half width 0) is 0 even at Point 0; otherwise a zero point
+// estimate yields +Inf, since no finite interval is relatively tight
+// around zero.
+func (c CI) RelativeHalfWidth() float64 {
+	hw := c.HalfWidth()
+	if hw == 0 {
+		return 0
+	}
+	p := math.Abs(c.Point)
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return hw / p
+}
+
 func (c CI) String() string {
 	return fmt.Sprintf("%.6g [%.6g, %.6g] @%.0f%%", c.Point, c.Lo, c.Hi, c.Confidence*100)
 }

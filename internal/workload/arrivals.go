@@ -25,6 +25,25 @@ type ArrivalProcess interface {
 	String() string
 }
 
+// Cloner is implemented by stateful arrival processes that can produce a
+// fresh, independent copy of themselves with the mutable state reset to the
+// initial conditions. Replication engines clone the configured process for
+// every replication so concurrent runs never share (or leak) phase state.
+type Cloner interface {
+	// CloneProcess returns an independent copy with pristine state.
+	CloneProcess() ArrivalProcess
+}
+
+// Clone returns an independent instance of p safe to hand to a concurrent
+// consumer: stateful processes (those implementing Cloner) are copied with
+// reset state, stateless ones are returned as-is.
+func Clone(p ArrivalProcess) ArrivalProcess {
+	if c, ok := p.(Cloner); ok {
+		return c.CloneProcess()
+	}
+	return p
+}
+
 // Poisson is the homogeneous Poisson process with the given rate —
 // exponential inter-arrival times, the model's assumption for
 // "user-initiated TCP sessions arriv[ing] at a WAN" [10][11].
@@ -123,6 +142,11 @@ func (m *MMPP2) Next(s *stats.Stream) float64 {
 	}
 }
 
+// CloneProcess returns a copy starting afresh in phase 1.
+func (m *MMPP2) CloneProcess() ArrivalProcess {
+	return &MMPP2{Rate1: m.Rate1, Rate2: m.Rate2, Hold1: m.Hold1, Hold2: m.Hold2}
+}
+
 // OnOff is the special MMPP2 case with a silent phase — bursts of Poisson
 // traffic separated by idle periods.
 func OnOff(burstRate, meanBurst, meanIdle float64) *MMPP2 {
@@ -177,6 +201,16 @@ func (sp *Superpose) Next(s *stats.Stream) float64 {
 		sp.pending[i] -= gap
 	}
 	return gap
+}
+
+// CloneProcess deep-copies the superposition: every stateful component is
+// cloned and the pending arrival times are cleared.
+func (sp *Superpose) CloneProcess() ArrivalProcess {
+	procs := make([]ArrivalProcess, len(sp.procs))
+	for i, p := range sp.procs {
+		procs[i] = Clone(p)
+	}
+	return NewSuperpose(procs...)
 }
 
 // SourceOf reports which component produced the arrival that Next just

@@ -54,6 +54,11 @@ func FromTrace(values []float64, binSec float64, cycle bool) *NHPP {
 	return NewNHPP(values, binSec, cycle)
 }
 
+// CloneProcess returns a copy positioned at the start of the rate schedule.
+func (p *NHPP) CloneProcess() ArrivalProcess {
+	return NewNHPP(p.Rates, p.BinSec, p.Cycle)
+}
+
 // rateAt reports the rate in force at process time t.
 func (p *NHPP) rateAt(t float64) (rate float64, windowEnd float64) {
 	bin := int(t / p.BinSec)

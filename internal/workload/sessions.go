@@ -47,6 +47,11 @@ func (p *Sessions) String() string {
 	return fmt.Sprintf("Sessions(rate=%g,req=%g)", p.SessionRate, p.MeanRequests)
 }
 
+// CloneProcess returns a copy with no pending sessions and a reset clock.
+func (p *Sessions) CloneProcess() ArrivalProcess {
+	return NewSessions(p.SessionRate, p.MeanRequests, p.Gap)
+}
+
 // sessionHeap is a min-heap of absolute request times.
 type sessionHeap []float64
 
