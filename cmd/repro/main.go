@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 // outcome carries one experiment's results back to the printing loop.
@@ -39,7 +40,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently (0 = GOMAXPROCS)")
 	outDir := flag.String("o", "", "also write each artifact as markdown into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -134,6 +144,7 @@ func main() {
 		}
 	}
 	if failed {
+		stopProfiles() // os.Exit skips deferred calls
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,114 @@
+// Command simbench runs the simulation-core microbenchmarks
+// (BenchmarkStationHighOccupancy, BenchmarkDesimSchedule*) through
+// `go test -bench` and records ns/op, B/op and allocs/op in a JSON file, so
+// the performance trajectory of the hot path is tracked in-repo from PR to
+// PR.
+//
+// Usage:
+//
+//	go run ./cmd/simbench [-o BENCH_simcore.json] [-benchtime 20000x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the BENCH_simcore.json layout.
+type File struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	BenchTime   string   `json:"bench_time"`
+	Benchmarks  []Record `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result rows, e.g.
+// BenchmarkStationHighOccupancy/k=1000-8  20000  215.2 ns/op  32 B/op  1 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_simcore.json", "output file")
+	benchtime := flag.String("benchtime", "20000x", "go test -benchtime value (a fixed count keeps runs comparable)")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", "BenchmarkStationHighOccupancy|BenchmarkDesimSchedule",
+		"-benchmem", "-benchtime", *benchtime,
+		"./internal/cluster", "./internal/desim",
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	var records []Record
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytes, allocs int64
+		if m[4] != "" {
+			bytes, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			allocs, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		records = append(records, Record{
+			Name:        m[1],
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytes,
+			AllocsPerOp: allocs,
+		})
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "simbench: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	verCmd := exec.Command("go", "env", "GOVERSION")
+	ver, _ := verCmd.Output()
+
+	data, err := json.MarshalIndent(File{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   strings.TrimSpace(string(ver)),
+		BenchTime:   *benchtime,
+		Benchmarks:  records,
+	}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range records {
+		fmt.Printf("%-45s %12.1f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

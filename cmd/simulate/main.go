@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/power"
+	"repro/internal/profiling"
 	"repro/internal/rainbow"
 	"repro/internal/replicate"
 	"repro/internal/virt"
@@ -52,12 +53,20 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = all CPUs); never changes results")
 	precision := flag.Float64("precision", 0, "stop replicating once the 95% CI of pooled loss is relatively this tight (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replication study (0 = none)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	die := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
 		os.Exit(1)
 	}
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		die("%v", err)
+	}
+	defer stopProfiles()
 
 	lambdaW := *intensity * float64(*webServers) * workload.WebDiskRate
 	lambdaD := *intensity * float64(*dbServers) * workload.DBCPURate

@@ -205,10 +205,7 @@ func (r *runner) build() {
 				backlogs := make([]float64, len(h.vmStations))
 				for pos, vm := range h.vmStations {
 					for _, st := range vm {
-						st.advance()
-						for _, j := range st.jobs {
-							backlogs[pos] += j.remaining
-						}
+						backlogs[pos] += st.backlog()
 					}
 				}
 				shares := cfg.Alloc.Shares(backlogs)

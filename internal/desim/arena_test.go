@@ -1,0 +1,221 @@
+package desim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestArenaSlotReuse verifies that firing and reaping return slots to the
+// free list: a bounded working set must not grow the arena no matter how
+// many events pass through it.
+func TestArenaSlotReuse(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for round := 0; round < 1000; round++ {
+		s.After(1, fn)
+		s.After(2, fn)
+		s.RunAll()
+	}
+	if got := s.arenaSize(); got > 4 {
+		t.Fatalf("arena grew to %d slots for a working set of 2", got)
+	}
+}
+
+// TestArenaCancelThenRescheduleReusesSlot verifies the cancel→reap→reuse
+// cycle: a cancelled event's slot is reclaimed once popped and handed to a
+// later schedule.
+func TestArenaCancelThenRescheduleReusesSlot(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(1, func() { t.Error("cancelled event fired") })
+	if !h.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	s.RunAll() // reaps the cancelled event, freeing its slot
+	size := s.arenaSize()
+	h2 := s.At(2, func() { fired = true })
+	if got := s.arenaSize(); got != size {
+		t.Fatalf("reschedule grew the arena %d -> %d instead of reusing the freed slot", size, got)
+	}
+	if !h2.Pending() {
+		t.Fatal("rescheduled event not pending")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("rescheduled event did not fire")
+	}
+}
+
+// TestHandleGenerationRecycling verifies that a handle to a dead event goes
+// inert when its slot is recycled: it must not observe — or cancel — the
+// new occupant.
+func TestHandleGenerationRecycling(t *testing.T) {
+	s := New()
+	stale := s.At(1, func() {})
+	s.RunAll() // fires; slot released
+	fired := false
+	fresh := s.At(2, func() { fired = true }) // recycles the slot
+	if stale.idx != fresh.idx {
+		t.Fatalf("test premise broken: slots differ (%d vs %d)", stale.idx, fresh.idx)
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending after recycling")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh handle not pending")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if fresh.Pending() || fresh.Cancel() {
+		t.Fatal("fired handle still live")
+	}
+}
+
+// TestFIFOPropertyAgainstReference is the firing-order equivalence
+// property: for randomized schedules dense with ties, the heap must fire
+// events exactly as a stable sort by (time, schedule order) would.
+func TestFIFOPropertyAgainstReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 50 + rng.Intn(200)
+		type ref struct {
+			at  Time
+			ord int
+		}
+		refs := make([]ref, 0, n)
+		var got []int
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(rng.Intn(8)) // few distinct times -> many ties
+			refs = append(refs, ref{at: at, ord: i})
+			s.At(at, func() { got = append(got, i) })
+		}
+		// Reference scheduler: stable sort on time keeps insertion order
+		// within ties.
+		sort.SliceStable(refs, func(a, b int) bool { return refs[a].at < refs[b].at })
+		s.RunAll()
+		if len(got) != n {
+			t.Fatalf("seed %d: fired %d of %d", seed, len(got), n)
+		}
+		for i := range got {
+			if got[i] != refs[i].ord {
+				t.Fatalf("seed %d: firing order diverges from reference at %d: got %v", seed, i, got)
+			}
+		}
+	}
+}
+
+// TestFIFOPropertyWithCancellations extends the reference property with
+// random cancellations (including cancels from inside running events) and
+// compaction churn.
+func TestFIFOPropertyWithCancellations(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		s := New()
+		n := 100 + rng.Intn(300)
+		type ev struct {
+			at        Time
+			ord       int
+			cancelled bool
+		}
+		evs := make([]*ev, n)
+		handles := make([]Handle, n)
+		var got []int
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i] = &ev{at: Time(rng.Intn(10)), ord: i}
+			handles[i] = s.At(evs[i].at, func() { got = append(got, i) })
+		}
+		// Cancel a random third up front (triggers compaction at scale).
+		for i := range evs {
+			if rng.Intn(3) == 0 {
+				evs[i].cancelled = true
+				if !handles[i].Cancel() {
+					t.Fatalf("seed %d: cancel %d failed", seed, i)
+				}
+			}
+		}
+		want := make([]int, 0, n)
+		for _, at := range []Time{0, 1, 2, 3, 4, 5, 6, 7, 8, 9} {
+			for _, e := range evs {
+				if e.at == at && !e.cancelled {
+					want = append(want, e.ord)
+				}
+			}
+		}
+		s.RunAll()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d, want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: order diverges at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestCompactionReapsCancelledBacklog verifies that a cancel-heavy workload
+// cannot grow the queue without bound: lazy deletion compacts once
+// cancelled events outnumber live ones.
+func TestCompactionReapsCancelledBacklog(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 10000; i++ {
+		// A far-future event that is immediately replaced — the cluster
+		// station reschedule pattern.
+		h := s.After(1e12, fn)
+		h.Cancel()
+	}
+	if got := s.Pending(); got > 256 {
+		t.Fatalf("queue holds %d entries; compaction should have reaped the cancelled backlog", got)
+	}
+	if got := s.arenaSize(); got > 256 {
+		t.Fatalf("arena grew to %d slots under cancel churn", got)
+	}
+}
+
+// TestScheduleFireNoAllocs pins the acceptance criterion directly: the
+// steady-state schedule/fire path allocates nothing.
+func TestScheduleFireNoAllocs(t *testing.T) {
+	s := New()
+	fn := func() {}
+	// Prime capacity.
+	for i := 0; i < 128; i++ {
+		s.After(1, fn)
+	}
+	s.RunAll()
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			s.After(Time(i%5)+1, fn)
+		}
+		s.RunAll()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/fire allocates %.2f allocs per round", avg)
+	}
+}
+
+// TestCancelledEventKeepsClockSemantics: reaping a cancelled head event
+// must not advance the clock to its timestamp.
+func TestCancelledEventKeepsClockSemantics(t *testing.T) {
+	s := New()
+	h := s.At(5, func() {})
+	var at Time
+	s.At(7, func() { at = s.Now() })
+	h.Cancel()
+	s.RunAll()
+	if at != 7 {
+		t.Fatalf("live event fired at %g", at)
+	}
+	if s.Now() != 7 {
+		t.Fatalf("clock = %g, want 7 (cancelled event must not move it)", s.Now())
+	}
+}

@@ -3,10 +3,17 @@
 // tie-breaking, cancellable events, and time-weighted statistics. It is the
 // laboratory substrate on which the queueing and cluster simulators run in
 // place of the paper's physical testbed.
+//
+// Events live in a slice-backed arena rather than as individual heap
+// allocations: scheduling reuses slots through a free list, handles address
+// slots by (index, generation) so stale handles go inert when a slot is
+// recycled, and cancellation is lazy — a cancelled event stays queued until
+// it is popped or until cancelled events outnumber live ones, at which
+// point the queue is compacted in place. The steady-state schedule/fire
+// path performs no allocations.
 package desim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -15,63 +22,70 @@ import (
 // Time is simulated time in seconds since the start of the run.
 type Time = float64
 
-// Handle identifies a scheduled event and allows cancelling it.
+// Handle identifies a scheduled event and allows cancelling it. The zero
+// Handle is valid and refers to no event. Handles stay cheap to copy and
+// never keep a fired event alive: once the event fires or is reaped, the
+// slot's generation advances and the handle goes inert.
 type Handle struct {
-	ev *event
+	sim *Simulator
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was
 // still pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.cancelled || h.ev.fired {
+	if h.sim == nil {
 		return false
 	}
-	h.ev.cancelled = true
+	ev := &h.sim.arena[h.idx]
+	if ev.gen != h.gen || ev.state != statePending {
+		return false
+	}
+	ev.state = stateCancelled
+	h.sim.cancelled++
+	h.sim.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
 func (h Handle) Pending() bool {
-	return h.ev != nil && !h.ev.cancelled && !h.ev.fired
-}
-
-type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	if h.sim == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
+	ev := &h.sim.arena[h.idx]
+	return ev.gen == h.gen && ev.state == statePending
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// Event slot states. A slot cycles free -> pending -> (cancelled ->) free;
+// the generation counter advances each time the slot returns to free.
+const (
+	stateFree = iota
+	statePending
+	stateCancelled
+)
+
+// event is one arena slot.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	gen   uint32
+	state uint8
 }
 
 // Simulator owns the clock and the event queue. The zero value is not
 // usable; call New.
 type Simulator struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	stopped bool
-	fired   uint64
+	now       Time
+	arena     []event // slot storage; grows, never shrinks
+	free      []int32 // recycled slot indexes
+	queue     []int32 // binary min-heap of slot indexes, keyed by (at, seq)
+	seq       uint64
+	cancelled int // cancelled events still sitting in queue
+	stopped   bool
+	fired     uint64
 }
 
 // New returns a simulator with the clock at 0.
@@ -94,10 +108,20 @@ func (s *Simulator) At(t Time, fn func()) Handle {
 	if t < s.now || math.IsNaN(t) {
 		panic(fmt.Errorf("%w: now=%g, requested=%g", ErrPast, s.now, t))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.arena = append(s.arena, event{})
+		idx = int32(len(s.arena) - 1)
+	}
+	ev := &s.arena[idx]
+	ev.at, ev.seq, ev.fn, ev.state = t, s.seq, fn, statePending
 	s.seq++
-	heap.Push(&s.events, ev)
-	return Handle{ev: ev}
+	s.queue = append(s.queue, idx)
+	s.siftUp(len(s.queue) - 1)
+	return Handle{sim: s, idx: idx, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -115,18 +139,25 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Run(horizon Time) uint64 {
 	s.stopped = false
 	var count uint64
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.at > horizon {
+	for len(s.queue) > 0 && !s.stopped {
+		idx := s.queue[0]
+		ev := &s.arena[idx]
+		if ev.at > horizon {
 			break
 		}
-		heap.Pop(&s.events)
-		if next.cancelled {
+		s.popTop()
+		if ev.state == stateCancelled {
+			s.cancelled--
+			s.release(idx)
 			continue
 		}
-		s.now = next.at
-		next.fired = true
-		next.fn()
+		s.now = ev.at
+		fn := ev.fn
+		// Release before firing: the slot is immediately reusable by events
+		// fn schedules, and handles to this event go inert — matching the
+		// fired-event semantics (Pending false, Cancel a no-op).
+		s.release(idx)
+		fn()
 		s.fired++
 		count++
 	}
@@ -146,7 +177,103 @@ func (s *Simulator) RunAll() uint64 {
 
 // Pending reports the number of events still queued (including cancelled
 // events not yet reaped).
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// release returns a slot to the free list and advances its generation so
+// outstanding handles to it go inert.
+func (s *Simulator) release(idx int32) {
+	ev := &s.arena[idx]
+	ev.fn = nil // drop the closure reference for the garbage collector
+	ev.gen++
+	ev.state = stateFree
+	s.free = append(s.free, idx)
+}
+
+// maybeCompact reaps cancelled events eagerly once they outnumber live
+// ones, so workloads that cancel far-future events (the cluster stations
+// rescheduling completions) cannot grow the queue without bound. Removing
+// entries never changes the firing order of live events: pop order is the
+// total order (at, seq), independent of the heap's internal arrangement.
+func (s *Simulator) maybeCompact() {
+	if s.cancelled <= len(s.queue)/2 || len(s.queue) < 64 {
+		return
+	}
+	kept := s.queue[:0]
+	for _, idx := range s.queue {
+		if s.arena[idx].state == stateCancelled {
+			s.release(idx)
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	s.queue = kept
+	s.cancelled = 0
+	// Heapify bottom-up: O(n).
+	for i := len(s.queue)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// less orders slots by (at, seq): FIFO among simultaneous events.
+func (s *Simulator) less(a, b int32) bool {
+	ea, eb := &s.arena[a], &s.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp restores the heap property from position i toward the root.
+func (s *Simulator) siftUp(i int) {
+	q := s.queue
+	node := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(node, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = node
+}
+
+// popTop removes the minimum element.
+func (s *Simulator) popTop() {
+	q := s.queue
+	n := len(q) - 1
+	q[0] = q[n]
+	s.queue = q[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+// siftDown restores the heap property from position i toward the leaves.
+func (s *Simulator) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	node := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.less(q[r], q[child]) {
+			child = r
+		}
+		if !s.less(q[child], node) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	q[i] = node
+}
+
+// arenaSize reports the number of slots ever allocated (test hook for slot
+// reuse).
+func (s *Simulator) arenaSize() int { return len(s.arena) }
 
 // TimeAverage tracks the time-weighted average of a piecewise-constant
 // signal, e.g. the number of busy servers. Call Set at every change with
@@ -182,6 +309,17 @@ func (a *TimeAverage) Set(t Time, v float64) {
 // Finish closes the observation window at time t without changing the
 // value.
 func (a *TimeAverage) Finish(t Time) { a.Set(t, a.lastV) }
+
+// Reset closes the window at t and restarts accumulation from t with the
+// current value, discarding everything observed before t. Statistics
+// scoped to a post-warmup window snapshot their signals with Reset at the
+// warmup boundary.
+func (a *TimeAverage) Reset(t Time) {
+	a.Set(t, a.lastV)
+	a.area = 0
+	a.duration = 0
+	a.max = a.lastV
+}
 
 // Average reports the time-weighted mean (NaN if no time has elapsed).
 func (a *TimeAverage) Average() float64 {
