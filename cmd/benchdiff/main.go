@@ -1,0 +1,232 @@
+// Command benchdiff compares two benchmark/manifest JSON files and exits
+// non-zero on a thresholded regression — the machine-checkable half of
+// the CI bench-regression gate.
+//
+// Usage:
+//
+//	benchdiff [-ns-threshold 1.5] [-bytes-threshold 1.5] [-allow-allocs] old.json new.json
+//
+// Both simbench output (BENCH_simcore.json, a "benchmarks" array) and
+// run manifests (a "metrics" snapshot) are accepted; each is flattened
+// into metric rows named <benchmark>/ns_per_op etc. Gating rules apply
+// by metric suffix:
+//
+//   - .../ns_per_op regresses when new > old × ns-threshold (wall-clock
+//     noise gets a generous multiplicative margin);
+//   - .../allocs_per_op regresses on any increase (allocation counts are
+//     deterministic — 0 allocs/op is a property, not a measurement);
+//   - .../bytes_per_op regresses when new > old × bytes-threshold;
+//   - anything else is reported but never gates.
+//
+// Exit codes: 0 no regression (identical or improved), 1 regression,
+// 2 metric present in old but missing from new, 3 usage or read error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Exit codes.
+const (
+	exitOK         = 0
+	exitRegressed  = 1
+	exitMissing    = 2
+	exitUsageError = 3
+)
+
+// options are the gating thresholds.
+type options struct {
+	nsThreshold    float64 // ratio; new/old above this regresses
+	bytesThreshold float64
+	allowAllocs    bool // tolerate allocs/op increases
+}
+
+// benchFile is the subset of simbench's File / obs.Manifest layout
+// benchdiff consumes.
+type benchFile struct {
+	Benchmarks []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+	Metrics *metricsBlock `json:"metrics"`
+	// A bare manifest carries the snapshot under "metrics"; a manifest
+	// envelope inside a bench file is ignored in favour of "benchmarks".
+}
+
+type metricsBlock struct {
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// loadMetrics flattens one file into metric rows.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := map[string]float64{}
+	switch {
+	case len(f.Benchmarks) > 0:
+		for _, b := range f.Benchmarks {
+			m[b.Name+"/ns_per_op"] = b.NsPerOp
+			m[b.Name+"/bytes_per_op"] = float64(b.BytesPerOp)
+			m[b.Name+"/allocs_per_op"] = float64(b.AllocsPerOp)
+		}
+	case f.Metrics != nil:
+		for k, v := range f.Metrics.Gauges {
+			m[k] = v
+		}
+		for k, v := range f.Metrics.Counters {
+			m[k] = float64(v)
+		}
+	default:
+		return nil, fmt.Errorf("%s: neither a benchmarks array nor a metrics snapshot", path)
+	}
+	return m, nil
+}
+
+// verdict classifies one metric's movement.
+type verdict int
+
+const (
+	vOK verdict = iota
+	vRegressed
+	vMissing
+	vInfo // not a gated metric
+)
+
+// judge applies the suffix rule for one metric.
+func judge(name string, old, cur float64, opts options) verdict {
+	switch {
+	case strings.HasSuffix(name, "/ns_per_op"):
+		if cur > old*opts.nsThreshold {
+			return vRegressed
+		}
+	case strings.HasSuffix(name, "/allocs_per_op"):
+		if cur > old && !opts.allowAllocs {
+			return vRegressed
+		}
+	case strings.HasSuffix(name, "/bytes_per_op"):
+		if cur > old*opts.bytesThreshold {
+			return vRegressed
+		}
+	default:
+		return vInfo
+	}
+	return vOK
+}
+
+// diff compares the two metric sets, writes the report, and returns the
+// exit code.
+func diff(oldM, newM map[string]float64, opts options, out io.Writer) int {
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed, missing := 0, 0
+	fmt.Fprintf(out, "%-60s %14s %14s %8s  %s\n", "metric", "old", "new", "delta", "verdict")
+	for _, name := range names {
+		old := oldM[name]
+		cur, ok := newM[name]
+		if !ok {
+			missing++
+			fmt.Fprintf(out, "%-60s %14.4g %14s %8s  MISSING\n", name, old, "-", "-")
+			continue
+		}
+		v := judge(name, old, cur, opts)
+		delta := "0%"
+		if old != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(cur-old)/old)
+		} else if cur != 0 {
+			delta = "+inf"
+		}
+		label := "ok"
+		switch v {
+		case vRegressed:
+			regressed++
+			label = "REGRESSED"
+		case vInfo:
+			label = "info"
+		default:
+			if cur < old {
+				label = "improved"
+			}
+		}
+		fmt.Fprintf(out, "%-60s %14.4g %14.4g %8s  %s\n", name, old, cur, delta, label)
+	}
+	added := 0
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			added++
+		}
+	}
+	if added > 0 {
+		fmt.Fprintf(out, "(%d new metric(s) in the new file, not gated)\n", added)
+	}
+	switch {
+	case regressed > 0:
+		fmt.Fprintf(out, "FAIL: %d metric(s) regressed beyond thresholds (ns/op x%.2g, bytes/op x%.2g, allocs strict=%v)\n",
+			regressed, opts.nsThreshold, opts.bytesThreshold, !opts.allowAllocs)
+		return exitRegressed
+	case missing > 0:
+		fmt.Fprintf(out, "FAIL: %d metric(s) missing from the new file\n", missing)
+		return exitMissing
+	}
+	fmt.Fprintln(out, "OK: no regressions")
+	return exitOK
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nsThreshold := fs.Float64("ns-threshold", 1.5, "ns/op regression ratio (new/old beyond this fails)")
+	bytesThreshold := fs.Float64("bytes-threshold", 1.5, "bytes/op regression ratio")
+	allowAllocs := fs.Bool("allow-allocs", false, "tolerate allocs/op increases")
+	if err := fs.Parse(args); err != nil {
+		return exitUsageError
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] old.json new.json")
+		return exitUsageError
+	}
+	if *nsThreshold <= 0 || *bytesThreshold <= 0 ||
+		math.IsNaN(*nsThreshold) || math.IsNaN(*bytesThreshold) {
+		fmt.Fprintln(stderr, "benchdiff: thresholds must be positive")
+		return exitUsageError
+	}
+	oldM, err := loadMetrics(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return exitUsageError
+	}
+	newM, err := loadMetrics(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return exitUsageError
+	}
+	return diff(oldM, newM, options{
+		nsThreshold:    *nsThreshold,
+		bytesThreshold: *bytesThreshold,
+		allowAllocs:    *allowAllocs,
+	}, stdout)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes a minimal simbench-shaped file and returns its path.
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseBench = `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":100,"bytes_per_op":32,"allocs_per_op":1},
+  {"name":"BenchmarkB","iterations":1000,"ns_per_op":2000,"bytes_per_op":0,"allocs_per_op":0}
+]}`
+
+// TestExitCodes pins benchdiff's contract for the four scenarios CI
+// cares about: identical, improved, regressed, missing-metric.
+func TestExitCodes(t *testing.T) {
+	old := writeBench(t, "old.json", baseBench)
+	cases := []struct {
+		name     string
+		newBody  string
+		args     []string
+		wantExit int
+		wantOut  string
+	}{
+		{
+			name:     "identical",
+			newBody:  baseBench,
+			wantExit: exitOK,
+			wantOut:  "OK: no regressions",
+		},
+		{
+			name: "improved",
+			newBody: `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":80,"bytes_per_op":32,"allocs_per_op":1},
+  {"name":"BenchmarkB","iterations":1000,"ns_per_op":1500,"bytes_per_op":0,"allocs_per_op":0}
+]}`,
+			wantExit: exitOK,
+			wantOut:  "improved",
+		},
+		{
+			name: "regressed ns/op beyond threshold",
+			newBody: `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":200,"bytes_per_op":32,"allocs_per_op":1},
+  {"name":"BenchmarkB","iterations":1000,"ns_per_op":2000,"bytes_per_op":0,"allocs_per_op":0}
+]}`,
+			wantExit: exitRegressed,
+			wantOut:  "REGRESSED",
+		},
+		{
+			name: "ns/op within threshold passes",
+			newBody: `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":140,"bytes_per_op":32,"allocs_per_op":1},
+  {"name":"BenchmarkB","iterations":1000,"ns_per_op":2900,"bytes_per_op":0,"allocs_per_op":0}
+]}`,
+			wantExit: exitOK,
+			wantOut:  "OK: no regressions",
+		},
+		{
+			name: "any allocs/op increase regresses",
+			newBody: `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":100,"bytes_per_op":32,"allocs_per_op":1},
+  {"name":"BenchmarkB","iterations":1000,"ns_per_op":2000,"bytes_per_op":0,"allocs_per_op":1}
+]}`,
+			wantExit: exitRegressed,
+			wantOut:  "REGRESSED",
+		},
+		{
+			name: "allocs increase tolerated with -allow-allocs",
+			newBody: `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":100,"bytes_per_op":32,"allocs_per_op":1},
+  {"name":"BenchmarkB","iterations":1000,"ns_per_op":2000,"bytes_per_op":0,"allocs_per_op":1}
+]}`,
+			args:     []string{"-allow-allocs"},
+			wantExit: exitOK,
+			wantOut:  "OK: no regressions",
+		},
+		{
+			name: "missing metric",
+			newBody: `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":100,"bytes_per_op":32,"allocs_per_op":1}
+]}`,
+			wantExit: exitMissing,
+			wantOut:  "missing",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newPath := writeBench(t, "new.json", tc.newBody)
+			var stdout, stderr bytes.Buffer
+			args := append(append([]string(nil), tc.args...), old, newPath)
+			got := run(args, &stdout, &stderr)
+			if got != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tc.wantExit, stdout.String(), stderr.String())
+			}
+			if !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+		})
+	}
+}
+
+// TestRegressionBeatsMissing: when both occur, the exit code reports the
+// regression (the more actionable failure).
+func TestRegressionBeatsMissing(t *testing.T) {
+	old := writeBench(t, "old.json", baseBench)
+	newPath := writeBench(t, "new.json", `{"benchmarks":[
+  {"name":"BenchmarkA","iterations":1000,"ns_per_op":500,"bytes_per_op":32,"allocs_per_op":1}
+]}`)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{old, newPath}, &stdout, &stderr); got != exitRegressed {
+		t.Fatalf("exit = %d, want %d (regression should win)\n%s", got, exitRegressed, stdout.String())
+	}
+}
+
+// TestManifestMetricsAccepted: a bare run manifest (metrics snapshot,
+// no benchmarks array) diffs by gauge/counter name.
+func TestManifestMetricsAccepted(t *testing.T) {
+	old := writeBench(t, "old.json",
+		`{"metrics":{"gauges":{"X/ns_per_op":100},"counters":{"events":10}}}`)
+	newPath := writeBench(t, "new.json",
+		`{"metrics":{"gauges":{"X/ns_per_op":300},"counters":{"events":10}}}`)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{old, newPath}, &stdout, &stderr); got != exitRegressed {
+		t.Fatalf("exit = %d, want %d\n%s", got, exitRegressed, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "events") {
+		t.Fatalf("counter row missing from report:\n%s", stdout.String())
+	}
+}
+
+// TestUsageErrors covers the exit-3 paths: bad flags, wrong arity,
+// unreadable file, malformed JSON, nonsense thresholds.
+func TestUsageErrors(t *testing.T) {
+	old := writeBench(t, "old.json", baseBench)
+	bad := writeBench(t, "bad.json", `{`)
+	empty := writeBench(t, "empty.json", `{}`)
+	cases := [][]string{
+		{},
+		{old},
+		{"-ns-threshold", "-1", old, old},
+		{"-no-such-flag", old, old},
+		{old, filepath.Join(t.TempDir(), "nope.json")},
+		{old, bad},
+		{old, empty},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := run(args, &stdout, &stderr); got != exitUsageError {
+			t.Errorf("run(%q) = %d, want %d", args, got, exitUsageError)
+		}
+	}
+}

@@ -13,65 +13,77 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/erlang"
 )
 
-func main() {
-	n := flag.Int("n", 0, "number of servers")
-	rho := flag.Float64("rho", -1, "offered traffic in Erlangs")
-	target := flag.Float64("target", -1, "target loss probability")
-	useC := flag.Bool("c", false, "compute Erlang C (waiting) instead of Erlang B")
-	dist := flag.Bool("dist", false, "print the stationary busy-server distribution")
-	flag.Parse()
+// run is the testable entry point; it mirrors main's exit codes:
+// 0 success, 1 computation error, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("erlang", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 0, "number of servers")
+	rho := fs.Float64("rho", -1, "offered traffic in Erlangs")
+	target := fs.Float64("target", -1, "target loss probability")
+	useC := fs.Bool("c", false, "compute Erlang C (waiting) instead of Erlang B")
+	dist := fs.Bool("dist", false, "print the stationary busy-server distribution")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	die := func(err error) {
-		fmt.Fprintf(os.Stderr, "erlang: %v\n", err)
-		os.Exit(1)
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "erlang: %v\n", err)
+		return 1
 	}
 
 	switch {
 	case *dist && *n > 0 && *rho >= 0:
 		pi, err := erlang.StateDistribution(*n, *rho)
 		if err != nil {
-			die(err)
+			return fail(err)
 		}
 		for k, p := range pi {
-			fmt.Printf("pi[%d] = %.6g\n", k, p)
+			fmt.Fprintf(stdout, "pi[%d] = %.6g\n", k, p)
 		}
 	case *n > 0 && *rho >= 0 && *target < 0:
 		if *useC {
 			c, err := erlang.C(*n, *rho)
 			if err != nil {
-				die(err)
+				return fail(err)
 			}
-			fmt.Printf("ErlangC(n=%d, rho=%g) = %.6g\n", *n, *rho, c)
-			return
+			fmt.Fprintf(stdout, "ErlangC(n=%d, rho=%g) = %.6g\n", *n, *rho, c)
+			return 0
 		}
 		b, err := erlang.B(*n, *rho)
 		if err != nil {
-			die(err)
+			return fail(err)
 		}
 		util, err := erlang.Utilization(*n, *rho)
 		if err != nil {
-			die(err)
+			return fail(err)
 		}
-		fmt.Printf("ErlangB(n=%d, rho=%g) = %.6g (utilization %.4f)\n", *n, *rho, b, util)
+		fmt.Fprintf(stdout, "ErlangB(n=%d, rho=%g) = %.6g (utilization %.4f)\n", *n, *rho, b, util)
 	case *rho >= 0 && *target > 0 && *n == 0:
 		servers, err := erlang.Servers(*rho, *target, 0)
 		if err != nil {
-			die(err)
+			return fail(err)
 		}
-		fmt.Printf("Servers(rho=%g, B<=%g) = %d\n", *rho, *target, servers)
+		fmt.Fprintf(stdout, "Servers(rho=%g, B<=%g) = %d\n", *rho, *target, servers)
 	case *n > 0 && *target > 0 && *rho < 0:
 		traffic, err := erlang.Traffic(*n, *target)
 		if err != nil {
-			die(err)
+			return fail(err)
 		}
-		fmt.Printf("Traffic(n=%d, B<=%g) = %.6g Erlangs\n", *n, *target, traffic)
+		fmt.Fprintf(stdout, "Traffic(n=%d, B<=%g) = %.6g Erlangs\n", *n, *target, traffic)
 	default:
-		fmt.Fprintln(os.Stderr, "erlang: supply two of -n, -rho, -target (see -h)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "erlang: supply two of -n, -rho, -target (see -h)")
+		return 2
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

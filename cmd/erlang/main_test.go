@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGoldenOutputs pins the CLI's exact output for each mode, so
+// formatting and numeric changes both show up in review.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		want     string // exact stdout
+	}{
+		{
+			name:     "erlang B",
+			args:     []string{"-n", "8", "-rho", "5"},
+			wantExit: 0,
+			want:     "ErlangB(n=8, rho=5) = 0.0700479 (utilization 0.5812)\n",
+		},
+		{
+			name:     "erlang C",
+			args:     []string{"-n", "8", "-rho", "5", "-c"},
+			wantExit: 0,
+			want:     "ErlangC(n=8, rho=5) = 0.167267\n",
+		},
+		{
+			name:     "dimension servers",
+			args:     []string{"-rho", "5", "-target", "0.01"},
+			wantExit: 0,
+			want:     "Servers(rho=5, B<=0.01) = 11\n",
+		},
+		{
+			name:     "admissible traffic",
+			args:     []string{"-n", "8", "-target", "0.01"},
+			wantExit: 0,
+			want:     "Traffic(n=8, B<=0.01) = 3.12756 Erlangs\n",
+		},
+		{
+			name:     "state distribution",
+			args:     []string{"-n", "3", "-rho", "2", "-dist"},
+			wantExit: 0,
+			want: "pi[0] = 0.157895\n" +
+				"pi[1] = 0.315789\n" +
+				"pi[2] = 0.315789\n" +
+				"pi[3] = 0.210526\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.wantExit {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, tc.wantExit, stderr.String())
+			}
+			if stdout.String() != tc.want {
+				t.Fatalf("stdout = %q, want %q", stdout.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestErrorExits pins the two failure modes: usage errors exit 2 and
+// computation errors exit 1, both reporting on stderr only.
+func TestErrorExits(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantErr  string
+	}{
+		{
+			name:     "no mode selected",
+			args:     []string{"-n", "8"},
+			wantExit: 2,
+			wantErr:  "supply two of",
+		},
+		{
+			name:     "all three flags is ambiguous",
+			args:     []string{"-n", "8", "-rho", "5", "-target", "0.01"},
+			wantExit: 2,
+			wantErr:  "supply two of",
+		},
+		{
+			name:     "unknown flag",
+			args:     []string{"-bogus"},
+			wantExit: 2,
+			wantErr:  "flag provided but not defined",
+		},
+		{
+			name:     "invalid target",
+			args:     []string{"-rho", "5", "-target", "1.5"},
+			wantExit: 1,
+			wantErr:  "invalid input",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\nstderr: %s", got, tc.wantExit, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("unexpected stdout: %q", stdout.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr = %q, want substring %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	outDir := flag.String("o", "", "also write each artifact as markdown into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	manifest := flag.String("manifest", "repro_manifest.json", "write a run manifest (config, seed, git rev, timings, per-experiment wall times) to this file; empty disables")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -57,6 +59,8 @@ func main() {
 		}
 		return
 	}
+
+	man := obs.NewManifest("repro", *seed)
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	ids := flag.Args()
@@ -141,6 +145,34 @@ func main() {
 		if err := writeIndex(*outDir, results); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: writing index: %v\n", err)
 			failed = true
+		}
+	}
+	if *manifest != "" {
+		ids := make([]string, len(todo))
+		for i, e := range todo {
+			ids[i] = e.ID
+		}
+		man.Config = map[string]any{
+			"quick":       *quick,
+			"parallel":    workers,
+			"experiments": ids,
+		}
+		reg := obs.NewRegistry()
+		ran := reg.Counter("repro/experiments_run")
+		failures := reg.Counter("repro/experiments_failed")
+		for _, res := range results {
+			ran.Inc()
+			if res.err != nil {
+				failures.Inc()
+				continue
+			}
+			reg.Gauge("repro/" + res.exp.ID + "/wall_seconds").Set(res.elapsed.Seconds())
+		}
+		if err := man.Finish(reg.Snapshot()).WriteFile(*manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: writing manifest: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("run manifest written to %s\n", *manifest)
 		}
 	}
 	if failed {

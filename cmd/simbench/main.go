@@ -19,6 +19,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Record is one benchmark measurement.
@@ -30,12 +32,16 @@ type Record struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// File is the BENCH_simcore.json layout.
+// File is the BENCH_simcore.json layout: the legacy top-level fields
+// (kept so older tooling still parses the file), the shared run-manifest
+// envelope carrying provenance and a gauge mirror of every measurement,
+// and the benchmark records themselves.
 type File struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	BenchTime   string   `json:"bench_time"`
-	Benchmarks  []Record `json:"benchmarks"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	BenchTime   string        `json:"bench_time"`
+	Manifest    *obs.Manifest `json:"manifest,omitempty"`
+	Benchmarks  []Record      `json:"benchmarks"`
 }
 
 // benchLine matches `go test -bench -benchmem` result rows, e.g.
@@ -47,6 +53,9 @@ func main() {
 	out := flag.String("o", "BENCH_simcore.json", "output file")
 	benchtime := flag.String("benchtime", "20000x", "go test -benchtime value (a fixed count keeps runs comparable)")
 	flag.Parse()
+
+	man := obs.NewManifest("simbench", 0)
+	man.Config = map[string]string{"benchtime": *benchtime}
 
 	args := []string{
 		"test", "-run", "^$",
@@ -93,10 +102,21 @@ func main() {
 	verCmd := exec.Command("go", "env", "GOVERSION")
 	ver, _ := verCmd.Output()
 
+	// Mirror every measurement into the manifest's metric snapshot so
+	// bench files and run manifests share one machine-readable shape.
+	reg := obs.NewRegistry()
+	for _, r := range records {
+		reg.Gauge(r.Name + "/ns_per_op").Set(r.NsPerOp)
+		reg.Gauge(r.Name + "/bytes_per_op").Set(float64(r.BytesPerOp))
+		reg.Gauge(r.Name + "/allocs_per_op").Set(float64(r.AllocsPerOp))
+	}
+	man.Finish(reg.Snapshot())
+
 	data, err := json.MarshalIndent(File{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   strings.TrimSpace(string(ver)),
 		BenchTime:   *benchtime,
+		Manifest:    man,
 		Benchmarks:  records,
 	}, "", "  ")
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/profiling"
 	"repro/internal/rainbow"
@@ -31,6 +32,27 @@ import (
 	"repro/internal/virt"
 	"repro/internal/workload"
 )
+
+// manifestConfig is the resolved-configuration block of the run
+// manifest: every knob that shaped the simulation, after defaulting.
+type manifestConfig struct {
+	Mode      string  `json:"mode"`
+	Hosts     int     `json:"hosts"`
+	Classes   string  `json:"classes,omitempty"`
+	Alloc     string  `json:"alloc"`
+	Period    float64 `json:"period,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	Intensity float64 `json:"intensity"`
+	WebRate   float64 `json:"web_rate"`
+	DBRate    float64 `json:"db_rate"`
+	Horizon   float64 `json:"horizon"`
+	Warmup    float64 `json:"warmup"`
+	MTBF      float64 `json:"mtbf,omitempty"`
+	MTTR      float64 `json:"mttr,omitempty"`
+	Reps      int     `json:"reps"`
+	Workers   int     `json:"workers,omitempty"`
+	Precision float64 `json:"precision,omitempty"`
+}
 
 func main() {
 	mode := flag.String("mode", "consolidated", "dedicated or consolidated")
@@ -55,12 +77,17 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replication study (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	manifest := flag.String("manifest", "run_manifest.json", "write a run manifest (config, seed, git rev, timings, metrics) to this file; empty disables")
+	traceFile := flag.String("trace", "", "write a JSONL scheduler event trace to this file")
+	traceSample := flag.Int("trace-sample", 1, "record every Nth scheduler operation in the trace")
 	flag.Parse()
 
 	die := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
 		os.Exit(1)
 	}
+
+	man := obs.NewManifest("simulate", *seed)
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -123,6 +150,49 @@ func main() {
 		cfg.ConsolidatedServers = 0
 	}
 
+	var tracer *obs.TraceWriter
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			die("%v", err)
+		}
+		tracer = obs.NewTraceWriter(f, *traceSample)
+		cfg.Tracer = tracer
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "simulate: closing trace: %v\n", err)
+			}
+		}()
+	}
+
+	man.Config = manifestConfig{
+		Mode:      *mode,
+		Hosts:     cfg.ConsolidatedServers,
+		Classes:   *classes,
+		Alloc:     *alloc,
+		Period:    *period,
+		Cost:      *cost,
+		Intensity: *intensity,
+		WebRate:   lambdaW,
+		DBRate:    lambdaD,
+		Horizon:   cfg.Horizon,
+		Warmup:    cfg.Warmup,
+		MTBF:      *mtbf,
+		MTTR:      *mttr,
+		Reps:      *reps,
+		Workers:   *workers,
+		Precision: *precision,
+	}
+	writeManifest := func(metrics obs.Snapshot) {
+		if *manifest == "" {
+			return
+		}
+		if err := man.Finish(metrics).WriteFile(*manifest); err != nil {
+			die("writing manifest: %v", err)
+		}
+		fmt.Printf("\nrun manifest written to %s\n", *manifest)
+	}
+
 	switch *alloc {
 	case "flowing":
 		// nil Alloc = ideal on-demand resource flowing.
@@ -149,10 +219,12 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		engReg := obs.NewRegistry()
 		set, err := cluster.Replications(ctx, cfg, replicate.Config{
 			Replications: *reps,
 			Workers:      *workers,
 			Precision:    *precision,
+			Obs:          engReg,
 		})
 		if errors.Is(err, context.DeadlineExceeded) && set != nil && len(set.Results) > 0 {
 			fmt.Printf("timeout after %d/%d replications; reporting the completed prefix\n\n",
@@ -169,6 +241,9 @@ func main() {
 			fmt.Printf("host failures injected: %d across %d replications\n",
 				totalFailures, len(set.Results))
 		}
+		// The manifest pools the per-replication engine snapshots with the
+		// replication engine's own metrics (wall times, worker occupancy).
+		writeManifest(set.Obs.Merge(engReg.Snapshot()))
 		return
 	}
 
@@ -191,6 +266,7 @@ func main() {
 	if res.Failures > 0 {
 		fmt.Printf("host failures injected: %d\n", res.Failures)
 	}
+	writeManifest(res.Obs)
 }
 
 // parseClasses parses "name:count,name:count" into host classes with the

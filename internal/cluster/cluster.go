@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/desim"
 	"repro/internal/stats"
 	"repro/internal/virt"
 	"repro/internal/workload"
@@ -139,6 +140,12 @@ type Config struct {
 	// Dom0MemoryGB is the memory reserved for Domain 0 on consolidated
 	// hosts; zero means 1 GB.
 	Dom0MemoryGB float64
+
+	// Tracer, when non-nil, receives every scheduler operation of the
+	// run's discrete-event core (obs.TraceWriter writes them as JSONL).
+	// Intended for single runs; replications sharing one tracer get
+	// interleaved (but individually intact) lines.
+	Tracer desim.Tracer
 }
 
 // HostClass describes one hardware class of a heterogeneous consolidated

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/stats"
 )
@@ -55,6 +56,12 @@ type Result struct {
 
 	// Window is the post-warmup observation duration in seconds.
 	Window float64
+
+	// Obs is the run's engine-metric snapshot (event counts, admissions,
+	// losses, virtual-time advances, per-station occupancy) — the metrics
+	// block run manifests embed. Unlike the service metrics above, these
+	// counters cover the whole run including warmup.
+	Obs obs.Snapshot
 }
 
 func newResult(cfg *Config) *Result {

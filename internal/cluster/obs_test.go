@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestRunObsSnapshot checks that a run leaves a coherent engine-metric
+// snapshot on its Result: event counts, admissions/losses consistent
+// with the service metrics, virtual-time advances, and one occupancy
+// gauge per station.
+func TestRunObsSnapshot(t *testing.T) {
+	cfg := Config{
+		Mode:             Dedicated,
+		Services:         []ServiceSpec{flatSpec(workload.NewPoisson(5))},
+		Horizon:          200,
+		Warmup:           50,
+		Seed:             7,
+		AdmissionPerHost: 2, // force some losses
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Obs
+	if s.Counters["desim/events_fired"] == 0 || s.Counters["desim/events_scheduled"] == 0 {
+		t.Fatalf("engine counters missing: %v", s.Counters)
+	}
+	// Stations cancel-and-replace completion events constantly; the
+	// cancellation counter must reflect that.
+	if s.Counters["desim/events_cancelled"] == 0 {
+		t.Fatalf("no cancellations recorded: %v", s.Counters)
+	}
+	if s.Counters["cluster/vt_advances"] == 0 {
+		t.Fatalf("no virtual-time advances recorded: %v", s.Counters)
+	}
+	// Engine admissions/losses cover the whole run (warmup included), so
+	// they must be at least the post-warmup service tallies.
+	sm := res.Services[0]
+	if adm := s.Counters["cluster/admissions"]; adm < uint64(sm.Served) {
+		t.Fatalf("admissions %d < served %d", adm, sm.Served)
+	}
+	if sm.Lost == 0 {
+		t.Fatal("test config produced no losses; tighten AdmissionPerHost")
+	}
+	if lost := s.Counters["cluster/losses"]; lost < uint64(sm.Lost) {
+		t.Fatalf("engine losses %d < counted losses %d", lost, sm.Lost)
+	}
+	occ, ok := s.Gauges["cluster/station/h0/cpu/mean_occupancy"]
+	if !ok {
+		t.Fatalf("missing station occupancy gauge: %v", s.Gauges)
+	}
+	if occ <= 0 {
+		t.Fatalf("mean occupancy = %g, want > 0", occ)
+	}
+	if s.Gauges["desim/queue_high_water"] <= 0 {
+		t.Fatalf("queue high water missing: %v", s.Gauges)
+	}
+	// The snapshot must serialize cleanly (no NaN/Inf gauges).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not serializable: %v", err)
+	}
+}
+
+// TestRunTracerWired checks that Config.Tracer receives the run's
+// scheduler operations as parseable JSONL.
+func TestRunTracerWired(t *testing.T) {
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf, 1)
+	cfg := Config{
+		Mode:     Dedicated,
+		Services: []ServiceSpec{flatSpec(workload.NewPoisson(5))},
+		Horizon:  50,
+		Seed:     7,
+		Tracer:   tw,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if uint64(len(lines)) < res.Obs.Counters["desim/events_fired"] {
+		t.Fatalf("trace lines %d < fired events %d", len(lines), res.Obs.Counters["desim/events_fired"])
+	}
+	for _, line := range lines[:10] {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+	}
+}
+
+// TestRunDeterminismUnaffectedByObs pins that observability never
+// perturbs the physics: two identical runs, one traced and one not,
+// produce identical service metrics.
+func TestRunDeterminismUnaffectedByObs(t *testing.T) {
+	base := Config{
+		Mode:     Dedicated,
+		Services: []ServiceSpec{flatSpec(workload.NewPoisson(5))},
+		Horizon:  200,
+		Warmup:   50,
+		Seed:     11,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := base
+	traced.Tracer = obs.NewTraceWriter(&bytes.Buffer{}, 100)
+	again, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plain.Services[0], again.Services[0]
+	if a.Arrivals != b.Arrivals || a.Served != b.Served || a.Lost != b.Lost {
+		t.Fatalf("tracing changed the run: %+v vs %+v", a, b)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/replicate"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -46,6 +47,10 @@ type ReplicationSet struct {
 	// EarlyStopped reports whether the precision target was reached before
 	// all requested replications ran.
 	EarlyStopped bool
+
+	// Obs merges the per-replication engine-metric snapshots: counters
+	// and histograms sum, gauges keep their maximum across replications.
+	Obs obs.Snapshot
 }
 
 // overallLoss pools every service's counters into one loss probability.
@@ -113,6 +118,9 @@ func aggregate(eng *replicate.Result[*Result], confidence float64) *ReplicationS
 	}
 	if len(eng.Outputs) == 0 {
 		return set
+	}
+	for _, res := range eng.Outputs {
+		set.Obs = set.Obs.Merge(res.Obs)
 	}
 	var total, bottleneck stats.Accumulator
 	nsvc := len(eng.Outputs[0].Services)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/desim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -75,6 +76,13 @@ type runner struct {
 	thinks    []*stats.Stream
 	p95, p99  []*stats.P2Quantile // per-service response-time percentiles
 	res       *Result
+
+	// Observability: every run owns a registry (isolated per replication,
+	// so parallel replications never contend) snapshotted into Result.Obs.
+	reg           *obs.Registry
+	obsAdmissions *obs.Counter
+	obsLosses     *obs.Counter
+	obsFailures   *obs.Counter
 }
 
 // Run builds and executes the experiment, returning aggregated metrics.
@@ -86,9 +94,14 @@ func Run(cfg Config) (*Result, error) {
 		cfg:  &cfg,
 		sim:  desim.New(),
 		root: stats.NewStream(cfg.Seed, fmt.Sprintf("cluster/%s", cfg.Mode)),
+		reg:  obs.NewRegistry(),
+	}
+	if cfg.Tracer != nil {
+		r.sim.SetTracer(cfg.Tracer)
 	}
 	r.res = newResult(&cfg)
 	r.build()
+	r.registerObs()
 	if cfg.Warmup > 0 {
 		// Snapshot delivered work at the warmup boundary so finish() can
 		// scope utilization to the same post-warmup window as loss and
@@ -223,6 +236,33 @@ func (r *runner) build() {
 	}
 }
 
+// registerObs publishes the run's engine counters: the discrete-event
+// core's schedule/fire/cancel/compaction counts, dispatcher admissions
+// and losses (atomic counters — per-request, off the per-event hot
+// path), virtual-time advances summed over stations (each station keeps
+// a plain field; the registry reads them only at snapshot), and one
+// mean-occupancy gauge per station. Must run after build().
+func (r *runner) registerObs() {
+	obs.RegisterSimulator(r.reg, "desim", r.sim)
+	r.obsAdmissions = r.reg.Counter("cluster/admissions")
+	r.obsLosses = r.reg.Counter("cluster/losses")
+	r.obsFailures = r.reg.Counter("cluster/host_failures")
+	r.reg.CounterFunc("cluster/vt_advances", func() uint64 {
+		var total uint64
+		for _, h := range r.hosts {
+			h.everyStation(func(st *station) { total += st.advances })
+		}
+		return total
+	})
+	for _, h := range r.hosts {
+		h.everyStation(func(st *station) {
+			r.reg.GaugeFunc("cluster/station/"+st.name+"/mean_occupancy", func() float64 {
+				return st.meanOccupancy(st.sim.Now())
+			})
+		})
+	}
+}
+
 func pick(specs []ServiceSpec, idx []int) []ServiceSpec {
 	out := make([]ServiceSpec, 0, len(idx))
 	for _, i := range idx {
@@ -292,6 +332,7 @@ func (r *runner) dispatch(svc, client int) {
 	}
 	h := r.pickHost(svc)
 	if h == nil || h.inflight >= r.cfg.admission() {
+		r.obsLosses.Inc()
 		if counted {
 			sm.Lost++
 		}
@@ -337,6 +378,7 @@ func (r *runner) admit(req *request) {
 	spec := &cfg.Services[req.service]
 	h := req.host
 	h.inflight++
+	r.obsAdmissions.Inc()
 
 	// Which station set serves this request?
 	vmPos := -1
@@ -421,6 +463,7 @@ func (r *runner) startFailures() {
 		fail = func() {
 			h.up = false
 			r.res.Failures++
+			r.obsFailures.Inc()
 			// Lose all in-flight requests on this host, in a deterministic
 			// order (map iteration would perturb the think-time stream).
 			seen := map[*request]bool{}
@@ -436,6 +479,7 @@ func (r *runner) startFailures() {
 			for _, req := range victims {
 				req.dead = true
 				h.inflight--
+				r.obsLosses.Inc()
 				if req.counted {
 					r.res.Services[req.service].Lost++
 				}
@@ -510,4 +554,5 @@ func (r *runner) finish() {
 		r.res.Hosts = append(r.res.Hosts, hm)
 	}
 	r.res.Window = window
+	r.res.Obs = r.reg.Snapshot()
 }

@@ -44,7 +44,7 @@ type jobRef struct {
 // station is a processor-sharing resource server.
 type station struct {
 	name     string
-	capacity float64 // work units per second when any job present
+	capacity float64   // work units per second when any job present
 	jobs     []*jobRef // min-heap keyed by (threshold, seq)
 
 	// V is the attained-service accumulator: the total service any job
@@ -57,6 +57,8 @@ type station struct {
 	sim        *desim.Simulator
 	lastUpdate desim.Time
 	busy       desim.TimeAverage // 0/1 busy indicator over [warmup, now]
+	occ        desim.TimeAverage // resident-job count over [warmup, now]
+	advances   uint64            // virtual-time advance count (observability)
 	workDone   float64
 	warmWork   float64 // workDone at the warmup boundary
 
@@ -75,6 +77,7 @@ func newStation(sim *desim.Simulator, name string, capacity float64, onDone func
 	}
 	st.completeFn = st.complete
 	st.busy.Set(sim.Now(), 0)
+	st.occ.Set(sim.Now(), 0)
 	st.lastUpdate = sim.Now()
 	return st
 }
@@ -89,6 +92,7 @@ func (st *station) advance() {
 	if dt <= 0 || k == 0 {
 		return
 	}
+	st.advances++
 	st.V += st.capacity / float64(k) * dt
 	st.workDone += st.capacity * dt
 }
@@ -102,6 +106,7 @@ func (st *station) snapshotWarmup() {
 	st.advance()
 	st.warmWork = st.workDone
 	st.busy.Reset(st.sim.Now())
+	st.occ.Reset(st.sim.Now())
 }
 
 // windowWork reports the work delivered since the warmup snapshot.
@@ -126,6 +131,7 @@ func (st *station) add(req *request, work float64) *jobRef {
 	st.seq++
 	st.pushJob(j)
 	st.busy.Set(st.sim.Now(), 1)
+	st.occ.Set(st.sim.Now(), float64(len(st.jobs)))
 	st.reschedule()
 	return j
 }
@@ -139,6 +145,7 @@ func (st *station) remove(j *jobRef) {
 	if len(st.jobs) == 0 {
 		st.busy.Set(st.sim.Now(), 0)
 	}
+	st.occ.Set(st.sim.Now(), float64(len(st.jobs)))
 	st.reschedule()
 }
 
@@ -184,6 +191,7 @@ func (st *station) complete() {
 	if len(st.jobs) == 0 {
 		st.busy.Set(st.sim.Now(), 0)
 	}
+	st.occ.Set(st.sim.Now(), float64(len(st.jobs)))
 	st.reschedule()
 	for _, j := range done {
 		st.onDone(j.req, st)
@@ -227,6 +235,18 @@ func (st *station) utilization(now desim.Time) float64 {
 	return u
 }
 
+// meanOccupancy reports the time-average resident-job count over the
+// current observation window: [warmup, now] once snapshotWarmup has run,
+// [0, now] otherwise.
+func (st *station) meanOccupancy(now desim.Time) float64 {
+	st.occ.Finish(now)
+	v := st.occ.Average()
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
 // clear drops all jobs (host failure) and returns the affected requests in
 // admission order, keeping failure handling deterministic.
 func (st *station) clear() []*request {
@@ -243,6 +263,7 @@ func (st *station) clear() []*request {
 	}
 	st.jobs = nil
 	st.busy.Set(st.sim.Now(), 0)
+	st.occ.Set(st.sim.Now(), 0)
 	st.reschedule()
 	return reqs
 }

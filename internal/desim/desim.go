@@ -45,6 +45,10 @@ func (h Handle) Cancel() bool {
 	}
 	ev.state = stateCancelled
 	h.sim.cancelled++
+	h.sim.cancelledTotal++
+	if h.sim.tracer != nil {
+		h.sim.tracer.TraceEvent(TraceCancel, h.sim.now, ev.at)
+	}
 	h.sim.maybeCompact()
 	return true
 }
@@ -85,7 +89,86 @@ type Simulator struct {
 	seq       uint64
 	cancelled int // cancelled events still sitting in queue
 	stopped   bool
-	fired     uint64
+
+	// Engine counters. The simulator is single-writer by construction
+	// (events fire on one goroutine), so these are plain fields — an
+	// increment, not an atomic — and the observability registry reads
+	// them through Stats() only when a snapshot is taken. This keeps the
+	// schedule/fire path allocation-free and within noise of the
+	// uninstrumented engine.
+	fired          uint64
+	scheduled      uint64
+	cancelledTotal uint64
+	compactions    uint64
+	maxQueue       int
+
+	tracer Tracer
+}
+
+// TraceOp labels one scheduler operation for event tracing.
+type TraceOp uint8
+
+// Scheduler operations reported to a Tracer.
+const (
+	TraceSchedule TraceOp = iota // event accepted by At/After; at = firing time
+	TraceFire                    // event popped and executed; at = firing time
+	TraceCancel                  // pending event cancelled; at = firing time it will no longer get
+	TraceCompact                 // cancelled-event compaction pass; at = now
+)
+
+// String names the operation.
+func (op TraceOp) String() string {
+	switch op {
+	case TraceSchedule:
+		return "schedule"
+	case TraceFire:
+		return "fire"
+	case TraceCancel:
+		return "cancel"
+	case TraceCompact:
+		return "compact"
+	}
+	return "unknown"
+}
+
+// Tracer observes scheduler operations for post-hoc debugging of sim
+// schedules. Implementations must not call back into the simulator.
+// obs.TraceWriter is the JSONL implementation.
+type Tracer interface {
+	TraceEvent(op TraceOp, now, at Time)
+}
+
+// SetTracer installs (or, with nil, removes) the scheduler tracer. The
+// untraced path costs one predictable nil check per operation.
+func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+
+// Stats is a point-in-time copy of the engine counters.
+type Stats struct {
+	// Scheduled counts events accepted by At/After.
+	Scheduled uint64
+	// Fired counts events executed.
+	Fired uint64
+	// Cancelled counts successful Handle.Cancel calls.
+	Cancelled uint64
+	// Compactions counts cancelled-event compaction passes.
+	Compactions uint64
+	// MaxQueue is the high-water mark of the pending-event heap
+	// (including not-yet-reaped cancelled events).
+	MaxQueue int
+	// ArenaSlots is the number of event slots ever allocated.
+	ArenaSlots int
+}
+
+// Stats reports the engine counters.
+func (s *Simulator) Stats() Stats {
+	return Stats{
+		Scheduled:   s.scheduled,
+		Fired:       s.fired,
+		Cancelled:   s.cancelledTotal,
+		Compactions: s.compactions,
+		MaxQueue:    s.maxQueue,
+		ArenaSlots:  len(s.arena),
+	}
 }
 
 // New returns a simulator with the clock at 0.
@@ -121,6 +204,13 @@ func (s *Simulator) At(t Time, fn func()) Handle {
 	s.seq++
 	s.queue = append(s.queue, idx)
 	s.siftUp(len(s.queue) - 1)
+	s.scheduled++
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+	if s.tracer != nil {
+		s.tracer.TraceEvent(TraceSchedule, s.now, t)
+	}
 	return Handle{sim: s, idx: idx, gen: ev.gen}
 }
 
@@ -157,6 +247,9 @@ func (s *Simulator) Run(horizon Time) uint64 {
 		// fn schedules, and handles to this event go inert — matching the
 		// fired-event semantics (Pending false, Cancel a no-op).
 		s.release(idx)
+		if s.tracer != nil {
+			s.tracer.TraceEvent(TraceFire, s.now, s.now)
+		}
 		fn()
 		s.fired++
 		count++
@@ -208,6 +301,10 @@ func (s *Simulator) maybeCompact() {
 	}
 	s.queue = kept
 	s.cancelled = 0
+	s.compactions++
+	if s.tracer != nil {
+		s.tracer.TraceEvent(TraceCompact, s.now, s.now)
+	}
 	// Heapify bottom-up: O(n).
 	for i := len(s.queue)/2 - 1; i >= 0; i-- {
 		s.siftDown(i)

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// cpuSeconds is unavailable off unix; manifests record 0.
+func cpuSeconds() float64 { return 0 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events").Add(42)
+	m := NewManifest("testtool", 7)
+	m.Config = map[string]any{"horizon": 120.0}
+	m.Finish(r.Snapshot())
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Tool != "testtool" || back.Seed != 7 {
+		t.Fatalf("tool/seed = %q/%d", back.Tool, back.Seed)
+	}
+	if back.GoVersion != runtime.Version() {
+		t.Fatalf("go version = %q", back.GoVersion)
+	}
+	if back.GitRevision == "" {
+		t.Fatal("git revision empty")
+	}
+	if _, err := time.Parse(time.RFC3339, back.StartedAt); err != nil {
+		t.Fatalf("started_at %q: %v", back.StartedAt, err)
+	}
+	if back.WallSeconds < 0 {
+		t.Fatalf("wall seconds = %g", back.WallSeconds)
+	}
+	if back.Metrics.Counters["events"] != 42 {
+		t.Fatalf("metrics = %v", back.Metrics)
+	}
+}
+
+func TestManifestCPUTime(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("rusage unavailable")
+	}
+	// Burn a little CPU so the reading is visibly positive.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 3)
+	}
+	_ = x
+	if got := cpuSeconds(); got <= 0 {
+		t.Fatalf("cpuSeconds = %g, want > 0", got)
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -60,6 +62,14 @@ type Config struct {
 	// MinReplications is the smallest prefix early stopping may accept
 	// (default 3, floor 2 — a CI needs at least two observations).
 	MinReplications int
+
+	// Obs, when non-nil, receives engine metrics: a histogram of
+	// per-replication wall times (replicate/rep_wall_seconds), counters
+	// for completed and failed replications, a worker-occupancy
+	// high-water gauge, and the early-stop round when one triggers. All
+	// updates happen at replication granularity — never inside the
+	// simulated hot path.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +156,12 @@ func Run[T any](ctx context.Context, cfg Config, sim func(rep int, seed uint64) 
 	cfg = cfg.withDefaults()
 	R := cfg.Replications
 
+	var em *engineMetrics
+	if cfg.Obs != nil {
+		em = newEngineMetrics(cfg.Obs)
+		em.workers.Set(float64(cfg.Workers))
+	}
+
 	var (
 		mu      sync.Mutex
 		next    int  // next replication index to hand out
@@ -183,7 +199,15 @@ func Run[T any](ctx context.Context, cfg Config, sim func(rep int, seed uint64) 
 				if !ok {
 					return
 				}
+				var start time.Time
+				if em != nil {
+					em.beginRep()
+					start = time.Now()
+				}
 				out, err := sim(rep, cfg.Seed+uint64(rep))
+				if em != nil {
+					em.endRep(time.Since(start).Seconds(), err)
+				}
 				results <- outcome[T]{rep: rep, out: out, err: err}
 			}
 		}()
@@ -229,6 +253,9 @@ func Run[T any](ctx context.Context, cfg Config, sim func(rep int, seed uint64) 
 			if useEarlyStop && stopAt < 0 && frontier >= cfg.MinReplications {
 				if prefixCI(metrics[:frontier], cfg.Confidence).RelativeHalfWidth() <= cfg.Precision {
 					stopAt = frontier
+					if em != nil {
+						em.stopRound.Set(float64(stopAt))
+					}
 					halt()
 				}
 			}
@@ -257,6 +284,49 @@ func Run[T any](ctx context.Context, cfg Config, sim func(rep int, seed uint64) 
 		return res, err
 	}
 	return res, nil
+}
+
+// engineMetrics bundles the registry handles the engine updates while a
+// study runs.
+type engineMetrics struct {
+	wall       *obs.Histogram // per-replication wall time, seconds
+	completed  *obs.Counter
+	failed     *obs.Counter
+	active     *obs.Gauge // currently running replications
+	peakActive *obs.Gauge // worker-occupancy high-water mark
+	workers    *obs.Gauge // configured worker count
+	stopRound  *obs.Gauge // replication count at early stop (0 = none)
+}
+
+// repWallBounds buckets per-replication wall times from sub-millisecond
+// smoke runs up to minutes-long studies.
+var repWallBounds = []float64{1e-3, 1e-2, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		wall:       r.Histogram("replicate/rep_wall_seconds", repWallBounds),
+		completed:  r.Counter("replicate/reps_completed"),
+		failed:     r.Counter("replicate/reps_failed"),
+		active:     r.Gauge("replicate/active_workers"),
+		peakActive: r.Gauge("replicate/peak_active_workers"),
+		workers:    r.Gauge("replicate/configured_workers"),
+		stopRound:  r.Gauge("replicate/early_stop_round"),
+	}
+}
+
+func (em *engineMetrics) beginRep() {
+	em.active.Add(1)
+	em.peakActive.SetMax(em.active.Load())
+}
+
+func (em *engineMetrics) endRep(wallSeconds float64, err error) {
+	em.active.Add(-1)
+	em.wall.Observe(wallSeconds)
+	if err != nil {
+		em.failed.Inc()
+	} else {
+		em.completed.Inc()
+	}
 }
 
 // prefixCI computes the Student-t mean CI over the given metric prefix.

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -264,5 +265,72 @@ func TestCIQuality(t *testing.T) {
 	}
 	if res.CI.HalfWidth() <= 0 || !res.CI.Contains(want) {
 		t.Fatalf("degenerate CI %+v", res.CI)
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{Replications: 12, Workers: 4, Obs: reg}
+	if _, err := Run(context.Background(), cfg, fakeSim, identity); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["replicate/reps_completed"]; got != 12 {
+		t.Fatalf("completed = %d, want 12", got)
+	}
+	if got := s.Counters["replicate/reps_failed"]; got != 0 {
+		t.Fatalf("failed = %d, want 0", got)
+	}
+	wall := s.Histograms["replicate/rep_wall_seconds"]
+	if wall.Count != 12 {
+		t.Fatalf("wall-time observations = %d, want 12", wall.Count)
+	}
+	if got := s.Gauges["replicate/configured_workers"]; got != 4 {
+		t.Fatalf("configured workers = %g, want 4", got)
+	}
+	if peak := s.Gauges["replicate/peak_active_workers"]; peak < 1 || peak > 4 {
+		t.Fatalf("peak active workers = %g, want within [1, 4]", peak)
+	}
+	if got := s.Gauges["replicate/active_workers"]; got != 0 {
+		t.Fatalf("active workers after Run = %g, want 0", got)
+	}
+	if got := s.Gauges["replicate/early_stop_round"]; got != 0 {
+		t.Fatalf("early stop round = %g, want 0 (no early stop)", got)
+	}
+}
+
+func TestEngineMetricsEarlyStopAndFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Constant metric: the CI collapses at MinReplications.
+	constSim := func(int, uint64) (float64, error) { return 1, nil }
+	res, err := Run(context.Background(),
+		Config{Replications: 50, Workers: 1, Precision: 0.01, Obs: reg},
+		constSim, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EarlyStopped {
+		t.Fatal("expected early stop")
+	}
+	if got := reg.Snapshot().Gauges["replicate/early_stop_round"]; got != float64(len(res.Outputs)) {
+		t.Fatalf("early stop round = %g, want %d", got, len(res.Outputs))
+	}
+
+	reg = obs.NewRegistry()
+	boom := errors.New("boom")
+	failSim := func(rep int, _ uint64) (float64, error) {
+		if rep == 1 {
+			return 0, boom
+		}
+		return 1, nil
+	}
+	if _, err := Run(context.Background(),
+		Config{Replications: 2, Workers: 1, Obs: reg}, failSim, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["replicate/reps_failed"] != 1 || s.Counters["replicate/reps_completed"] != 1 {
+		t.Fatalf("completed/failed = %d/%d, want 1/1",
+			s.Counters["replicate/reps_completed"], s.Counters["replicate/reps_failed"])
 	}
 }
