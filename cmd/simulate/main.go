@@ -1,16 +1,21 @@
-// Command simulate runs the data-center simulator on the paper's case-study
-// services and prints per-service QoS, per-host utilization and power — the
-// direct way to try "what if I consolidate my 4+4 pools onto 3 hosts?"
+// Command simulate runs the data-center simulator on a declarative
+// scenario and prints per-service QoS, per-host utilization and power —
+// the direct way to try "what if I consolidate my 4+4 pools onto 3 hosts?"
 //
-// Examples:
+// The flags below are sugar for building the case-study scenario; the same
+// pipeline accepts arbitrary scenarios as JSON (see examples/scenarios/):
 //
 //	simulate -mode dedicated -web-servers 4 -db-servers 4
-//	simulate -mode consolidated -hosts 4
-//	simulate -mode consolidated -hosts 4 -alloc static
 //	simulate -mode consolidated -hosts 4 -alloc proportional -period 0.5 -cost 0.02
 //	simulate -mode consolidated -hosts 3 -mtbf 300 -mttr 30   (failure injection)
-//	simulate -mode consolidated -hosts 4 -reps 8               (replication study)
-//	simulate -reps 32 -precision 0.05 -workers 4 -timeout 2m   (CI-driven early stop)
+//	simulate -reps 32 -precision 0.05 -workers 4 -timeout 2m  (CI-driven early stop)
+//	simulate -scenario examples/scenarios/casestudy.json
+//	simulate -preset fig9-db-closed
+//	simulate -dump-scenario | simulate -scenario -             (identical run)
+//
+// Every run resolves to one scenario.Scenario — dump it with
+// -dump-scenario, feed it back with -scenario, find it embedded in the run
+// manifest.
 package main
 
 import (
@@ -18,48 +23,25 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
-	"repro/internal/power"
 	"repro/internal/profiling"
-	"repro/internal/rainbow"
-	"repro/internal/replicate"
-	"repro/internal/virt"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
-
-// manifestConfig is the resolved-configuration block of the run
-// manifest: every knob that shaped the simulation, after defaulting.
-type manifestConfig struct {
-	Mode      string  `json:"mode"`
-	Hosts     int     `json:"hosts"`
-	Classes   string  `json:"classes,omitempty"`
-	Alloc     string  `json:"alloc"`
-	Period    float64 `json:"period,omitempty"`
-	Cost      float64 `json:"cost,omitempty"`
-	Intensity float64 `json:"intensity"`
-	WebRate   float64 `json:"web_rate"`
-	DBRate    float64 `json:"db_rate"`
-	Horizon   float64 `json:"horizon"`
-	Warmup    float64 `json:"warmup"`
-	MTBF      float64 `json:"mtbf,omitempty"`
-	MTTR      float64 `json:"mttr,omitempty"`
-	Reps      int     `json:"reps"`
-	Workers   int     `json:"workers,omitempty"`
-	Precision float64 `json:"precision,omitempty"`
-}
 
 func main() {
 	mode := flag.String("mode", "consolidated", "dedicated or consolidated")
 	hosts := flag.Int("hosts", 4, "consolidated pool size")
 	webServers := flag.Int("web-servers", 4, "dedicated Web pool size (also sizes the offered load)")
 	dbServers := flag.Int("db-servers", 4, "dedicated DB pool size (also sizes the offered load)")
-	intensity := flag.Float64("intensity", 0.70, "offered load as a fraction of dedicated capacity")
+	intensity := flag.Float64("intensity", scenario.SaturationIntensity, "offered load as a fraction of dedicated capacity")
 	webRate := flag.Float64("web-rate", 0, "override Web arrival rate (req/s)")
 	dbRate := flag.Float64("db-rate", 0, "override DB arrival rate (WIPS)")
 	alloc := flag.String("alloc", "flowing", "flowing, static, proportional or priority")
@@ -75,6 +57,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = all CPUs); never changes results")
 	precision := flag.Float64("precision", 0, "stop replicating once the 95% CI of pooled loss is relatively this tight (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replication study (0 = none)")
+	scenarioFile := flag.String("scenario", "", `run a scenario JSON file ("-" = stdin) instead of the flag-built case study`)
+	preset := flag.String("preset", "", "run a registered scenario preset: "+strings.Join(scenario.Names(), ", "))
+	dumpScenario := flag.Bool("dump-scenario", false, "print the resolved scenario as JSON and exit without running")
+	quick := flag.Bool("quick", false, "CI smoke mode: shrink the horizon 8x and cap replications at 2")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	manifest := flag.String("manifest", "run_manifest.json", "write a run manifest (config, seed, git rev, timings, metrics) to this file; empty disables")
@@ -87,68 +73,62 @@ func main() {
 		os.Exit(1)
 	}
 
-	man := obs.NewManifest("simulate", *seed)
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := checkFlagConflicts(explicit, *mode, *mtbf, *mttr, *reps, *scenarioFile, *preset); err != nil {
+		die("%v", err)
+	}
+
+	var s scenario.Scenario
+	var err error
+	switch {
+	case *scenarioFile != "":
+		s, err = loadScenario(*scenarioFile)
+	case *preset != "":
+		s, err = scenario.Preset(*preset)
+	default:
+		s, err = flagScenario(flagValues{
+			mode: *mode, hosts: *hosts, webServers: *webServers, dbServers: *dbServers,
+			intensity: *intensity, webRate: *webRate, dbRate: *dbRate,
+			alloc: *alloc, period: *period, cost: *cost,
+			horizon: *horizon, seed: *seed, mtbf: *mtbf, mttr: *mttr,
+			classes: *classes, reps: *reps, workers: *workers,
+			precision: *precision, timeout: *timeout,
+		})
+	}
+	if err != nil {
+		die("%v", err)
+	}
+
+	if *quick {
+		quicken(&s)
+	}
+	if err := s.Validate(); err != nil {
+		die("%v", err)
+	}
+	s.ApplyDefaults()
+
+	if *dumpScenario {
+		if err := s.Encode(os.Stdout); err != nil {
+			die("%v", err)
+		}
+		return
+	}
+
+	c, err := s.Compile()
+	if err != nil {
+		die("%v", err)
+	}
+	cfg := c.Cluster
+
+	man := obs.NewManifest("simulate", cfg.Seed)
+	man.Config = s
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		die("%v", err)
 	}
 	defer stopProfiles()
-
-	lambdaW := *intensity * float64(*webServers) * workload.WebDiskRate
-	lambdaD := *intensity * float64(*dbServers) * workload.DBCPURate
-	if *webRate > 0 {
-		lambdaW = *webRate
-	}
-	if *dbRate > 0 {
-		lambdaD = *dbRate
-	}
-
-	cfg := cluster.Config{
-		Services: []cluster.ServiceSpec{
-			{
-				Profile:          workload.SPECwebEcommerce(),
-				Overhead:         virt.WebHostOverhead(),
-				Arrivals:         workload.NewPoisson(lambdaW),
-				DedicatedServers: *webServers,
-			},
-			{
-				Profile:          workload.TPCWEbook(),
-				Overhead:         virt.DBHostOverhead(),
-				Arrivals:         workload.NewPoisson(lambdaD),
-				DedicatedServers: *dbServers,
-			},
-		},
-		ConsolidatedServers: *hosts,
-		Horizon:             *horizon,
-		Warmup:              *horizon / 6,
-		Seed:                *seed,
-		MTBF:                *mtbf,
-		MTTR:                *mttr,
-	}
-
-	platform := power.NativeLinux
-	switch *mode {
-	case "dedicated":
-		cfg.Mode = cluster.Dedicated
-	case "consolidated":
-		cfg.Mode = cluster.Consolidated
-		platform = power.XenRainbow
-	default:
-		die("unknown mode %q", *mode)
-	}
-
-	if *classes != "" {
-		if cfg.Mode != cluster.Consolidated {
-			die("-classes requires -mode consolidated")
-		}
-		hcs, err := parseClasses(*classes)
-		if err != nil {
-			die("%v", err)
-		}
-		cfg.HostClasses = hcs
-		cfg.ConsolidatedServers = 0
-	}
 
 	var tracer *obs.TraceWriter
 	if *traceFile != "" {
@@ -165,24 +145,6 @@ func main() {
 		}()
 	}
 
-	man.Config = manifestConfig{
-		Mode:      *mode,
-		Hosts:     cfg.ConsolidatedServers,
-		Classes:   *classes,
-		Alloc:     *alloc,
-		Period:    *period,
-		Cost:      *cost,
-		Intensity: *intensity,
-		WebRate:   lambdaW,
-		DBRate:    lambdaD,
-		Horizon:   cfg.Horizon,
-		Warmup:    cfg.Warmup,
-		MTBF:      *mtbf,
-		MTTR:      *mttr,
-		Reps:      *reps,
-		Workers:   *workers,
-		Precision: *precision,
-	}
 	writeManifest := func(metrics obs.Snapshot) {
 		if *manifest == "" {
 			return
@@ -193,42 +155,26 @@ func main() {
 		fmt.Printf("\nrun manifest written to %s\n", *manifest)
 	}
 
-	switch *alloc {
-	case "flowing":
-		// nil Alloc = ideal on-demand resource flowing.
-	case "static":
-		cfg.Alloc = rainbow.Static{}
-	case "proportional":
-		cfg.Alloc = rainbow.Proportional{RebalancePeriod: *period, MinShare: 0.05, Cost: *cost}
-	case "priority":
-		cfg.Alloc = rainbow.Priority{Priorities: []int{0, 1}, RebalancePeriod: *period, Cost: *cost}
-	default:
-		die("unknown allocator %q", *alloc)
-	}
+	fmt.Print(offeredLoadLine(s))
 
-	fmt.Printf("offered load: web %.0f req/s, db %.0f WIPS\n\n", lambdaW, lambdaD)
-
-	if *reps > 1 {
+	if c.Replication.Replications > 1 {
 		// Replication study: R parallel independent runs with seeds seed,
 		// seed+1, ..., merged in replication order (identical results for
 		// any -workers value), optionally stopped early once the pooled
 		// loss CI is tight enough.
 		ctx := context.Background()
-		if *timeout > 0 {
+		if c.Timeout > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			ctx, cancel = context.WithTimeout(ctx, c.Timeout)
 			defer cancel()
 		}
 		engReg := obs.NewRegistry()
-		set, err := cluster.Replications(ctx, cfg, replicate.Config{
-			Replications: *reps,
-			Workers:      *workers,
-			Precision:    *precision,
-			Obs:          engReg,
-		})
+		rcfg := c.Replication
+		rcfg.Obs = engReg
+		set, err := cluster.Replications(ctx, cfg, rcfg)
 		if errors.Is(err, context.DeadlineExceeded) && set != nil && len(set.Results) > 0 {
 			fmt.Printf("timeout after %d/%d replications; reporting the completed prefix\n\n",
-				len(set.Results), *reps)
+				len(set.Results), c.Replication.Replications)
 		} else if err != nil {
 			die("%v", err)
 		}
@@ -260,38 +206,219 @@ func main() {
 		}
 		fmt.Println()
 	}
-	total, idle := res.Energy(power.DefaultServer, platform)
+	total, idle := res.Energy(c.Power, c.Platform)
 	fmt.Printf("\npower (%s platform): mean %.0f W total, %.0f W idle floor, %.0f W workload\n",
-		platform, total/res.Window, idle/res.Window, (total-idle)/res.Window)
+		c.Platform, total/res.Window, idle/res.Window, (total-idle)/res.Window)
 	if res.Failures > 0 {
 		fmt.Printf("host failures injected: %d\n", res.Failures)
 	}
 	writeManifest(res.Obs)
 }
 
-// parseClasses parses "name:count,name:count" into host classes with the
-// built-in capability presets (amd = 1, intel = 1/1.2, blade = 0.5).
-func parseClasses(spec string) ([]cluster.HostClass, error) {
-	presets := map[string]map[string]float64{
-		"amd":   nil, // reference
-		"intel": {workload.CPU: 1 / 1.2, workload.DiskIO: 1 / 1.2},
-		"blade": {workload.CPU: 0.5, workload.DiskIO: 0.5},
+// shapingFlags are the flags that describe the scenario itself; they
+// conflict with -scenario and -preset, which carry a complete description.
+var shapingFlags = []string{
+	"mode", "hosts", "web-servers", "db-servers", "intensity", "web-rate",
+	"db-rate", "alloc", "period", "cost", "horizon", "seed", "mtbf", "mttr",
+	"classes", "reps", "workers", "precision", "timeout",
+}
+
+// checkFlagConflicts rejects contradictory combinations up front, before
+// any defaulting can paper over them.
+func checkFlagConflicts(explicit map[string]bool, mode string, mtbf, mttr float64, reps int, scenarioFile, preset string) error {
+	if scenarioFile != "" && preset != "" {
+		return errors.New("-scenario and -preset are mutually exclusive")
 	}
-	var out []cluster.HostClass
+	if scenarioFile != "" || preset != "" {
+		src := "-scenario"
+		if preset != "" {
+			src = "-preset"
+		}
+		for _, name := range shapingFlags {
+			if explicit[name] {
+				return fmt.Errorf("-%s conflicts with %s: the scenario carries the full description (edit the JSON instead)", name, src)
+			}
+		}
+		return nil
+	}
+	if mode == "dedicated" {
+		for _, name := range []string{"hosts", "classes", "alloc", "period", "cost"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s is a consolidated-mode flag, conflicting with -mode dedicated", name)
+			}
+		}
+	}
+	if explicit["classes"] && explicit["hosts"] {
+		return errors.New("-classes sizes the pool by itself, conflicting with -hosts")
+	}
+	if (mtbf > 0) != (mttr > 0) {
+		return errors.New("-mtbf and -mttr must be set together (both positive) to enable failure injection")
+	}
+	if explicit["precision"] && reps <= 1 {
+		return errors.New("-precision needs -reps > 1: early stopping compares replications")
+	}
+	return nil
+}
+
+// flagValues carries the flag-built case-study shape into flagScenario.
+type flagValues struct {
+	mode                  string
+	hosts                 int
+	webServers, dbServers int
+	intensity             float64
+	webRate, dbRate       float64
+	alloc                 string
+	period, cost          float64
+	horizon               float64
+	seed                  uint64
+	mtbf, mttr            float64
+	classes               string
+	reps, workers         int
+	precision             float64
+	timeout               time.Duration
+}
+
+// flagScenario lowers the case-study flags to a Scenario — the same
+// pipeline a JSON file takes, so -dump-scenario round-trips exactly.
+func flagScenario(v flagValues) (scenario.Scenario, error) {
+	if v.mode != "dedicated" && v.mode != "consolidated" {
+		return scenario.Scenario{}, fmt.Errorf("unknown mode %q", v.mode)
+	}
+	lambdaW := v.intensity * float64(v.webServers) * workload.WebDiskRate
+	lambdaD := v.intensity * float64(v.dbServers) * workload.DBCPURate
+	if v.webRate > 0 {
+		lambdaW = v.webRate
+	}
+	if v.dbRate > 0 {
+		lambdaD = v.dbRate
+	}
+
+	s := scenario.Scenario{
+		Name: "simulate-flags",
+		Mode: v.mode,
+		Services: []scenario.Service{
+			scenario.WebSpec(lambdaW, v.webServers),
+			scenario.DBSpec(lambdaD, v.dbServers),
+		},
+		Horizon: v.horizon,
+		Seed:    v.seed,
+	}
+	if v.mode == "consolidated" {
+		s.Fleet.Hosts = v.hosts
+		if v.classes != "" {
+			hcs, err := parseClasses(v.classes)
+			if err != nil {
+				return scenario.Scenario{}, err
+			}
+			s.Fleet.Classes = hcs
+			s.Fleet.Hosts = 0
+		}
+	}
+	switch v.alloc {
+	case "flowing":
+		// nil Alloc = ideal on-demand resource flowing.
+	case "static":
+		s.Alloc = &scenario.Alloc{Policy: "static"}
+	case "proportional":
+		s.Alloc = &scenario.Alloc{Policy: "proportional", Period: v.period, MinShare: 0.05, Cost: v.cost}
+	case "priority":
+		s.Alloc = &scenario.Alloc{Policy: "priority", Period: v.period, Cost: v.cost}
+	default:
+		return scenario.Scenario{}, fmt.Errorf("unknown allocator %q", v.alloc)
+	}
+	if v.mtbf > 0 {
+		s.Failures = &scenario.Failures{MTBF: v.mtbf, MTTR: v.mttr}
+	}
+	if v.reps > 1 || v.workers > 0 || v.precision > 0 || v.timeout > 0 {
+		s.Replication = &scenario.Replication{
+			Reps:       v.reps,
+			Workers:    v.workers,
+			Precision:  v.precision,
+			TimeoutSec: v.timeout.Seconds(),
+		}
+	}
+	return s, nil
+}
+
+// loadScenario reads one scenario from a file or stdin ("-").
+func loadScenario(path string) (scenario.Scenario, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return scenario.Parse(r)
+}
+
+// quicken shrinks a scenario for CI smoke runs: horizon (and any explicit
+// warmup) divide by 8, replications cap at 2 and early stopping turns off.
+func quicken(s *scenario.Scenario) {
+	if s.Horizon == 0 {
+		s.Horizon = 120
+	}
+	s.Horizon /= 8
+	if s.Warmup != nil {
+		w := *s.Warmup / 8
+		s.Warmup = &w
+	}
+	if s.Replication != nil && s.Replication.Reps > 2 {
+		s.Replication.Reps = 2
+	}
+	if s.Replication != nil {
+		s.Replication.Precision = 0
+	}
+}
+
+// offeredLoadLine summarizes the offered load of open-loop services and
+// the populations of closed-loop ones.
+func offeredLoadLine(s scenario.Scenario) string {
+	var b strings.Builder
+	b.WriteString("offered load:")
+	for i, svc := range s.Services {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		name := svc.Name
+		if name == "" {
+			name = svc.Profile.Preset
+		}
+		if name == "" {
+			name = svc.Profile.Name
+		}
+		if svc.Arrivals != nil {
+			if p, err := svc.Arrivals.Build(); err == nil {
+				fmt.Fprintf(&b, " %s %.0f req/s", name, p.Rate())
+				continue
+			}
+		}
+		fmt.Fprintf(&b, " %s %d clients", name, svc.Clients)
+	}
+	b.WriteString("\n\n")
+	return b.String()
+}
+
+// parseClasses parses "name:count,name:count" into host-class specs using
+// the scenario presets (amd = 1, intel = 1/1.2, blade = 0.5).
+func parseClasses(spec string) ([]scenario.HostClass, error) {
+	var out []scenario.HostClass
 	for _, part := range strings.Split(spec, ",") {
 		name, countStr, ok := strings.Cut(strings.TrimSpace(part), ":")
 		if !ok {
 			return nil, fmt.Errorf("class %q: want name:count", part)
 		}
-		capability, known := presets[name]
-		if !known {
-			return nil, fmt.Errorf("unknown class %q (amd, intel, blade)", name)
-		}
 		count, err := strconv.Atoi(countStr)
 		if err != nil || count <= 0 {
 			return nil, fmt.Errorf("class %q: bad count %q", name, countStr)
 		}
-		out = append(out, cluster.HostClass{Name: name, Count: count, Capability: capability})
+		hc := scenario.HostClass{Preset: name, Count: count}
+		if err := hc.Validate(); err != nil {
+			return nil, fmt.Errorf("unknown class %q (amd, intel, blade)", name)
+		}
+		out = append(out, hc)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty class spec")

@@ -2,7 +2,9 @@ package main
 
 import (
 	"testing"
+	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -14,18 +16,149 @@ func TestParseClasses(t *testing.T) {
 	if len(hcs) != 3 {
 		t.Fatalf("classes = %d", len(hcs))
 	}
-	if hcs[0].Name != "amd" || hcs[0].Count != 2 || hcs[0].Capability != nil {
+	if hcs[0].Preset != "amd" || hcs[0].Count != 2 {
 		t.Fatalf("amd class %+v", hcs[0])
 	}
-	if hcs[1].Capability[workload.CPU] != 1/1.2 {
-		t.Fatalf("intel capability %v", hcs[1].Capability)
+	// The presets carry through compilation to the cluster capability maps.
+	s := scenario.Scenario{
+		Services: []scenario.Service{scenario.WebSpec(100, 1)},
+		Fleet:    scenario.Fleet{Classes: hcs},
 	}
-	if hcs[2].Capability[workload.DiskIO] != 0.5 {
-		t.Fatalf("blade capability %v", hcs[2].Capability)
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Cluster.HostClasses
+	if got[0].Capability != nil {
+		t.Fatalf("amd capability %v", got[0].Capability)
+	}
+	if got[1].Capability[workload.CPU] != 1/1.2 {
+		t.Fatalf("intel capability %v", got[1].Capability)
+	}
+	if got[2].Capability[workload.DiskIO] != 0.5 {
+		t.Fatalf("blade capability %v", got[2].Capability)
 	}
 	for _, bad := range []string{"", "amd", "amd:x", "amd:0", "xeon:2", "amd:2;intel:1"} {
 		if _, err := parseClasses(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
 		}
+	}
+}
+
+func TestCheckFlagConflicts(t *testing.T) {
+	type call struct {
+		name     string
+		explicit []string
+		mode     string
+		mtbf     float64
+		mttr     float64
+		reps     int
+		file     string
+		preset   string
+		wantErr  bool
+	}
+	cases := []call{
+		{name: "defaults", mode: "consolidated", reps: 1},
+		{name: "dedicated plain", mode: "dedicated", reps: 1},
+		{name: "dedicated with hosts", explicit: []string{"hosts"}, mode: "dedicated", reps: 1, wantErr: true},
+		{name: "dedicated with classes", explicit: []string{"classes"}, mode: "dedicated", reps: 1, wantErr: true},
+		{name: "dedicated with alloc", explicit: []string{"alloc"}, mode: "dedicated", reps: 1, wantErr: true},
+		{name: "consolidated with alloc", explicit: []string{"alloc"}, mode: "consolidated", reps: 1},
+		{name: "classes plus hosts", explicit: []string{"classes", "hosts"}, mode: "consolidated", reps: 1, wantErr: true},
+		{name: "mttr without mtbf", mode: "consolidated", mttr: 30, reps: 1, wantErr: true},
+		{name: "mtbf without mttr", mode: "consolidated", mtbf: 300, reps: 1, wantErr: true},
+		{name: "failure pair", mode: "consolidated", mtbf: 300, mttr: 30, reps: 1},
+		{name: "precision single run", explicit: []string{"precision"}, mode: "consolidated", reps: 1, wantErr: true},
+		{name: "precision with reps", explicit: []string{"precision"}, mode: "consolidated", reps: 8},
+		{name: "scenario plus seed", explicit: []string{"seed"}, mode: "consolidated", reps: 1, file: "x.json", wantErr: true},
+		{name: "scenario plus manifest", explicit: []string{"manifest"}, mode: "consolidated", reps: 1, file: "x.json"},
+		{name: "preset plus horizon", explicit: []string{"horizon"}, mode: "consolidated", reps: 1, preset: "casestudy-4+4", wantErr: true},
+		{name: "scenario plus preset", mode: "consolidated", reps: 1, file: "x.json", preset: "casestudy-4+4", wantErr: true},
+	}
+	for _, c := range cases {
+		explicit := map[string]bool{}
+		for _, f := range c.explicit {
+			explicit[f] = true
+		}
+		err := checkFlagConflicts(explicit, c.mode, c.mtbf, c.mttr, c.reps, c.file, c.preset)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestFlagScenarioMatchesDefaults pins that the flag-built scenario with
+// default values compiles to the same cluster configuration shape the
+// pre-scenario CLI constructed.
+func TestFlagScenarioMatchesDefaults(t *testing.T) {
+	s, err := flagScenario(flagValues{
+		mode: "consolidated", hosts: 4, webServers: 4, dbServers: 4,
+		intensity: scenario.SaturationIntensity, alloc: "flowing",
+		period: 1, cost: 0.01, horizon: 120, seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Cluster
+	if cfg.ConsolidatedServers != 4 || cfg.Horizon != 120 || cfg.Warmup != 20 || cfg.Seed != 42 {
+		t.Fatalf("compiled shape %+v", cfg)
+	}
+	if cfg.Alloc != nil {
+		t.Fatalf("flowing should compile to nil alloc, got %v", cfg.Alloc)
+	}
+	lambdaW, lambdaD := scenario.SaturationRates(4, 4)
+	if got := cfg.Services[0].Arrivals.Rate(); got != lambdaW {
+		t.Fatalf("web rate %g, want %g", got, lambdaW)
+	}
+	if got := cfg.Services[1].Arrivals.Rate(); got != lambdaD {
+		t.Fatalf("db rate %g, want %g", got, lambdaD)
+	}
+}
+
+func TestFlagScenarioAllocAndReplication(t *testing.T) {
+	s, err := flagScenario(flagValues{
+		mode: "consolidated", hosts: 3, webServers: 4, dbServers: 4,
+		intensity: 0.5, alloc: "priority", period: 0.5, cost: 0.02,
+		horizon: 60, seed: 1, reps: 8, workers: 2, precision: 0.05,
+		timeout: 90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cluster.Alloc == nil || c.Cluster.Alloc.String() == "" {
+		t.Fatal("priority alloc missing")
+	}
+	r := c.Replication
+	if r.Replications != 8 || r.Workers != 2 || r.Precision != 0.05 || r.Seed != 1 {
+		t.Fatalf("replication %+v", r)
+	}
+	if c.Timeout != 90*time.Second {
+		t.Fatalf("timeout %v", c.Timeout)
+	}
+}
+
+func TestQuicken(t *testing.T) {
+	s, err := scenario.Preset("casestudy-4+4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Replication = &scenario.Replication{Reps: 16, Precision: 0.05}
+	quicken(&s)
+	if s.Horizon != 15 {
+		t.Fatalf("horizon %g", s.Horizon)
+	}
+	if s.Replication.Reps != 2 || s.Replication.Precision != 0 {
+		t.Fatalf("replication %+v", s.Replication)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }

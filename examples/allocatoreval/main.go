@@ -17,45 +17,34 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
-	"repro/internal/rainbow"
-	"repro/internal/virt"
-	"repro/internal/workload"
+	"repro/internal/scenario"
 )
 
 func main() {
 	// Group-1 case study: workloads that keep 3 consolidated hosts busy.
 	const hosts = 3
-	lambdaW := experiments.SaturationIntensity * 3 * workload.WebDiskRate
-	lambdaD := experiments.SaturationIntensity * 3 * workload.DBCPURate
+	lambdaW, lambdaD := scenario.SaturationRates(hosts, hosts)
 
-	base := cluster.Config{
-		Mode: cluster.Consolidated,
-		Services: []cluster.ServiceSpec{
-			{
-				Profile:  workload.SPECwebEcommerce(),
-				Overhead: virt.WebHostOverhead(),
-				Arrivals: workload.NewPoisson(lambdaW),
-			},
-			{
-				Profile:  workload.TPCWEbook(),
-				Overhead: virt.DBHostOverhead(),
-				Arrivals: workload.NewPoisson(lambdaD),
-			},
+	base := scenario.Scenario{
+		Mode: "consolidated",
+		Services: []scenario.Service{
+			scenario.WebSpec(lambdaW, 0),
+			scenario.DBSpec(lambdaD, 0),
 		},
-		ConsolidatedServers: hosts,
-		Horizon:             180,
-		Warmup:              30,
-		Seed:                7,
+		Fleet:   scenario.Fleet{Hosts: hosts},
+		Horizon: 180,
+		Warmup:  ptr(30.0),
+		Seed:    7,
 	}
 
 	policies := []struct {
 		name  string
-		alloc cluster.Partition
+		alloc *scenario.Alloc
 	}{
 		{"ideal-flowing (model's assumption)", nil},
-		{"rainbow proportional (T=0.5s)", rainbow.Proportional{RebalancePeriod: 0.5, MinShare: 0.05, Cost: 0.01}},
-		{"rainbow priority (web first)", rainbow.Priority{Priorities: []int{0, 1}, RebalancePeriod: 0.5, Cost: 0.01}},
-		{"static partition (no flowing)", rainbow.Static{}},
+		{"rainbow proportional (T=0.5s)", &scenario.Alloc{Policy: "proportional", Period: 0.5, MinShare: 0.05, Cost: 0.01}},
+		{"rainbow priority (web first)", &scenario.Alloc{Policy: "priority", Priorities: []int{0, 1}, Period: 0.5, Cost: 0.01}},
+		{"static partition (no flowing)", &scenario.Alloc{Policy: "static"}},
 	}
 
 	fmt.Printf("consolidated pool: %d hosts; offered web %.0f req/s, db %.0f WIPS\n\n",
@@ -64,9 +53,7 @@ func main() {
 
 	var flowingGoodput float64
 	for i, p := range policies {
-		cfg := base
-		cfg.Alloc = p.alloc
-		res, err := cluster.Run(cfg)
+		res, err := run(base, p.alloc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,9 +71,7 @@ func main() {
 
 	fmt.Println("\nscoring against the ideal-flowing limit (fraction of goodput realized):")
 	for _, p := range policies[1:] {
-		cfg := base
-		cfg.Alloc = p.alloc
-		res, err := cluster.Run(cfg)
+		res, err := run(base, p.alloc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,3 +94,16 @@ func main() {
 		bound.ThroughputImprovement)
 	fmt.Println("(any runtime allocator's measured improvement should approach, not exceed, this)")
 }
+
+// run compiles the base scenario with the given allocation policy and
+// executes one cluster run.
+func run(s scenario.Scenario, alloc *scenario.Alloc) (*cluster.Result, error) {
+	s.Alloc = alloc
+	c, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Run(c.Cluster)
+}
+
+func ptr(v float64) *float64 { return &v }

@@ -11,21 +11,21 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/diurnal"
 	"repro/internal/power"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	// A day of Web traffic peaking mid-afternoon and DB traffic peaking in
 	// the evening (report/checkout hours).
-	webTrace, err := trace.Diurnal(trace.DiurnalConfig{
+	webTrace, err := diurnal.Synthesize(diurnal.Config{
 		Name: "web", Base: 1100, Peak: 3950, PeakHour: 14, Noise: 0.08, BinSec: 300,
 	}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dbTrace, err := trace.Diurnal(trace.DiurnalConfig{
+	dbTrace, err := diurnal.Synthesize(diurnal.Config{
 		Name: "db", Base: 90, Peak: 280, PeakHour: 20, Noise: 0.08, BinSec: 300,
 	}, 2)
 	if err != nil {
@@ -116,7 +116,7 @@ func main() {
 	fmt.Printf("workload saving: %5.1f%%  (paper: ~30%% from the Xen platform)\n", cmp.WorkloadSaving()*100)
 
 	// The trace-level headroom that made this possible (Fig. 2).
-	h, err := trace.Analyze(webCap, webTrace) // per-web-server units
+	h, err := diurnal.Analyze(webCap, webTrace) // per-web-server units
 	if err != nil {
 		log.Fatal(err)
 	}

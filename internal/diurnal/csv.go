@@ -1,4 +1,4 @@
-package trace
+package diurnal
 
 import (
 	"encoding/csv"
@@ -41,36 +41,36 @@ func ReadCSV(r io.Reader) (Series, error) {
 	cr.FieldsPerRecord = 2
 	records, err := cr.ReadAll()
 	if err != nil {
-		return Series{}, fmt.Errorf("trace: reading CSV: %w", err)
+		return Series{}, fmt.Errorf("diurnal: reading CSV: %w", err)
 	}
 	if len(records) < 3 { // header + at least two samples to fix the bin width
-		return Series{}, errors.New("trace: CSV needs a header and at least two samples")
+		return Series{}, errors.New("diurnal: CSV needs a header and at least two samples")
 	}
 	out := Series{Name: records[0][1]}
 	var prevT float64
 	for i, rec := range records[1:] {
 		t, err := strconv.ParseFloat(rec[0], 64)
 		if err != nil {
-			return Series{}, fmt.Errorf("trace: row %d timestamp %q: %w", i+1, rec[0], err)
+			return Series{}, fmt.Errorf("diurnal: row %d timestamp %q: %w", i+1, rec[0], err)
 		}
 		v, err := strconv.ParseFloat(rec[1], 64)
 		if err != nil {
-			return Series{}, fmt.Errorf("trace: row %d value %q: %w", i+1, rec[1], err)
+			return Series{}, fmt.Errorf("diurnal: row %d value %q: %w", i+1, rec[1], err)
 		}
 		switch i {
 		case 0:
 			if t != 0 {
-				return Series{}, fmt.Errorf("trace: first timestamp %g, want 0", t)
+				return Series{}, fmt.Errorf("diurnal: first timestamp %g, want 0", t)
 			}
 		case 1:
 			if t <= 0 {
-				return Series{}, fmt.Errorf("trace: non-ascending timestamps at row %d", i+1)
+				return Series{}, fmt.Errorf("diurnal: non-ascending timestamps at row %d", i+1)
 			}
 			out.BinSec = t
 		default:
 			want := prevT + out.BinSec
 			if diff := t - want; diff > 1e-6*out.BinSec || diff < -1e-6*out.BinSec {
-				return Series{}, fmt.Errorf("trace: uneven spacing at row %d (%g, want %g)", i+1, t, want)
+				return Series{}, fmt.Errorf("diurnal: uneven spacing at row %d (%g, want %g)", i+1, t, want)
 			}
 		}
 		prevT = t

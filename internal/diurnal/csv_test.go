@@ -1,4 +1,4 @@
-package trace
+package diurnal
 
 import (
 	"bytes"
@@ -7,7 +7,7 @@ import (
 )
 
 func TestCSVRoundTrip(t *testing.T) {
-	orig, err := Diurnal(DiurnalConfig{
+	orig, err := Synthesize(Config{
 		Name: "web", Base: 10, Peak: 100, PeakHour: 12, Noise: 0.1, BinSec: 300,
 	}, 5)
 	if err != nil {

@@ -1,9 +1,10 @@
-// Package trace synthesizes diurnal workload time series and computes the
-// consolidation-headroom statistics behind the paper's motivation (Figs. 1
-// and 2): the peak of a sum of workloads is lower than the sum of their
-// peaks, which is exactly the slack server consolidation converts into
-// saved machines.
-package trace
+// Package diurnal synthesizes diurnal workload time series and computes
+// the consolidation-headroom statistics behind the paper's motivation
+// (Figs. 1 and 2): the peak of a sum of workloads is lower than the sum of
+// their peaks, which is exactly the slack server consolidation converts
+// into saved machines. (Formerly internal/trace; renamed to stop colliding
+// with the obs JSONL event tracer.)
+package diurnal
 
 import (
 	"errors"
@@ -24,14 +25,14 @@ type Series struct {
 // Validate checks the series.
 func (s Series) Validate() error {
 	if len(s.Values) == 0 {
-		return errors.New("trace: empty series")
+		return errors.New("diurnal: empty series")
 	}
 	if s.BinSec <= 0 || math.IsNaN(s.BinSec) {
-		return fmt.Errorf("trace: bin width %g", s.BinSec)
+		return fmt.Errorf("diurnal: bin width %g", s.BinSec)
 	}
 	for i, v := range s.Values {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("trace: bin %d value %g", i, v)
+			return fmt.Errorf("diurnal: bin %d value %g", i, v)
 		}
 	}
 	return nil
@@ -53,11 +54,10 @@ func (s Series) PeakToMean() float64 {
 	return s.Peak() / m
 }
 
-// DiurnalConfig parameterizes a synthetic one-day workload: a sinusoidal
-// daily cycle with a configurable peak hour, plus multiplicative noise —
-// the canonical shape of Internet-service traffic the paper's Fig. 2
-// sketches.
-type DiurnalConfig struct {
+// Config parameterizes a synthetic one-day workload: a sinusoidal daily
+// cycle with a configurable peak hour, plus multiplicative noise — the
+// canonical shape of Internet-service traffic the paper's Fig. 2 sketches.
+type Config struct {
 	Name     string
 	Base     float64 // off-peak intensity floor, > 0
 	Peak     float64 // peak intensity, >= Base
@@ -67,13 +67,13 @@ type DiurnalConfig struct {
 	Hours    float64 // duration; 0 means 24 h
 }
 
-// Diurnal synthesizes the series deterministically from the seed.
-func Diurnal(cfg DiurnalConfig, seed uint64) (Series, error) {
+// Synthesize builds the series deterministically from the seed.
+func Synthesize(cfg Config, seed uint64) (Series, error) {
 	if cfg.Base <= 0 || cfg.Peak < cfg.Base {
-		return Series{}, fmt.Errorf("trace: base %g, peak %g", cfg.Base, cfg.Peak)
+		return Series{}, fmt.Errorf("diurnal: base %g, peak %g", cfg.Base, cfg.Peak)
 	}
 	if cfg.Noise < 0 || cfg.Noise >= 1 {
-		return Series{}, fmt.Errorf("trace: noise %g", cfg.Noise)
+		return Series{}, fmt.Errorf("diurnal: noise %g", cfg.Noise)
 	}
 	bin := cfg.BinSec
 	if bin == 0 {
@@ -85,8 +85,11 @@ func Diurnal(cfg DiurnalConfig, seed uint64) (Series, error) {
 	}
 	n := int(hours * 3600 / bin)
 	if n <= 0 {
-		return Series{}, fmt.Errorf("trace: %g hours at %gs bins", hours, bin)
+		return Series{}, fmt.Errorf("diurnal: %g hours at %gs bins", hours, bin)
 	}
+	// The stream label deliberately keeps the package's pre-rename "trace/"
+	// prefix: the label feeds the RNG, so changing it would change every
+	// synthesized series and the pinned Fig. 2 outputs built on them.
 	s := stats.NewStream(seed, "trace/"+cfg.Name)
 	out := Series{Name: cfg.Name, BinSec: bin, Values: make([]float64, n)}
 	amp := (cfg.Peak - cfg.Base) / 2
@@ -110,13 +113,13 @@ func Diurnal(cfg DiurnalConfig, seed uint64) (Series, error) {
 // must share bin width and length.
 func Sum(series ...Series) (Series, error) {
 	if len(series) == 0 {
-		return Series{}, errors.New("trace: nothing to sum")
+		return Series{}, errors.New("diurnal: nothing to sum")
 	}
 	first := series[0]
 	out := Series{Name: "sum", BinSec: first.BinSec, Values: make([]float64, len(first.Values))}
 	for _, s := range series {
 		if s.BinSec != first.BinSec || len(s.Values) != len(first.Values) {
-			return Series{}, fmt.Errorf("trace: misaligned series %q", s.Name)
+			return Series{}, fmt.Errorf("diurnal: misaligned series %q", s.Name)
 		}
 		for i, v := range s.Values {
 			out.Values[i] += v
@@ -144,10 +147,10 @@ type Headroom struct {
 // separately; consolidated provisioning rounds the summed peak up once.
 func Analyze(serverCapacity float64, series ...Series) (Headroom, error) {
 	if serverCapacity <= 0 || math.IsNaN(serverCapacity) {
-		return Headroom{}, fmt.Errorf("trace: server capacity %g", serverCapacity)
+		return Headroom{}, fmt.Errorf("diurnal: server capacity %g", serverCapacity)
 	}
 	if len(series) == 0 {
-		return Headroom{}, errors.New("trace: no series")
+		return Headroom{}, errors.New("diurnal: no series")
 	}
 	var h Headroom
 	for _, s := range series {
@@ -180,7 +183,7 @@ func CapacityLine(s Series, lossBudget float64) (float64, error) {
 		return 0, err
 	}
 	if lossBudget < 0 || lossBudget >= 1 {
-		return 0, fmt.Errorf("trace: loss budget %g", lossBudget)
+		return 0, fmt.Errorf("diurnal: loss budget %g", lossBudget)
 	}
 	return stats.Quantile(s.Values, 1-lossBudget), nil
 }

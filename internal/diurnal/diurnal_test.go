@@ -1,4 +1,4 @@
-package trace
+package diurnal
 
 import (
 	"math"
@@ -7,7 +7,7 @@ import (
 )
 
 func TestDiurnalShape(t *testing.T) {
-	s, err := Diurnal(DiurnalConfig{
+	s, err := Synthesize(Config{
 		Name: "web", Base: 100, Peak: 1000, PeakHour: 14,
 	}, 1)
 	if err != nil {
@@ -37,18 +37,18 @@ func TestDiurnalShape(t *testing.T) {
 }
 
 func TestDiurnalNoiseAndDeterminism(t *testing.T) {
-	cfg := DiurnalConfig{Name: "x", Base: 50, Peak: 200, PeakHour: 10, Noise: 0.2}
-	a, err := Diurnal(cfg, 7)
+	cfg := Config{Name: "x", Base: 50, Peak: 200, PeakHour: 10, Noise: 0.2}
+	a, err := Synthesize(cfg, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := Diurnal(cfg, 7)
+	b, _ := Synthesize(cfg, 7)
 	for i := range a.Values {
 		if a.Values[i] != b.Values[i] {
 			t.Fatal("same seed diverged")
 		}
 	}
-	c, _ := Diurnal(cfg, 8)
+	c, _ := Synthesize(cfg, 8)
 	same := true
 	for i := range a.Values {
 		if a.Values[i] != c.Values[i] {
@@ -62,23 +62,23 @@ func TestDiurnalNoiseAndDeterminism(t *testing.T) {
 }
 
 func TestDiurnalErrors(t *testing.T) {
-	if _, err := Diurnal(DiurnalConfig{Base: 0, Peak: 1}, 1); err == nil {
+	if _, err := Synthesize(Config{Base: 0, Peak: 1}, 1); err == nil {
 		t.Fatal("zero base accepted")
 	}
-	if _, err := Diurnal(DiurnalConfig{Base: 10, Peak: 5}, 1); err == nil {
+	if _, err := Synthesize(Config{Base: 10, Peak: 5}, 1); err == nil {
 		t.Fatal("peak < base accepted")
 	}
-	if _, err := Diurnal(DiurnalConfig{Base: 1, Peak: 2, Noise: 1}, 1); err == nil {
+	if _, err := Synthesize(Config{Base: 1, Peak: 2, Noise: 1}, 1); err == nil {
 		t.Fatal("noise 1 accepted")
 	}
-	if _, err := Diurnal(DiurnalConfig{Base: 1, Peak: 2, Hours: 0.001, BinSec: 3600}, 1); err == nil {
+	if _, err := Synthesize(Config{Base: 1, Peak: 2, Hours: 0.001, BinSec: 3600}, 1); err == nil {
 		t.Fatal("empty series accepted")
 	}
 }
 
 func TestSumAlignment(t *testing.T) {
-	a, _ := Diurnal(DiurnalConfig{Name: "a", Base: 10, Peak: 20, PeakHour: 3}, 1)
-	b, _ := Diurnal(DiurnalConfig{Name: "b", Base: 10, Peak: 20, PeakHour: 15}, 2)
+	a, _ := Synthesize(Config{Name: "a", Base: 10, Peak: 20, PeakHour: 3}, 1)
+	b, _ := Synthesize(Config{Name: "b", Base: 10, Peak: 20, PeakHour: 15}, 2)
 	sum, err := Sum(a, b)
 	if err != nil {
 		t.Fatal(err)
@@ -100,8 +100,8 @@ func TestSumAlignment(t *testing.T) {
 func TestAnalyzeAntiCorrelatedWorkloads(t *testing.T) {
 	// Two services peaking 12 h apart: the consolidated peak is far below
 	// the sum of peaks — the Fig. 2 story.
-	a, _ := Diurnal(DiurnalConfig{Name: "day", Base: 100, Peak: 1000, PeakHour: 14}, 1)
-	b, _ := Diurnal(DiurnalConfig{Name: "night", Base: 100, Peak: 1000, PeakHour: 2}, 2)
+	a, _ := Synthesize(Config{Name: "day", Base: 100, Peak: 1000, PeakHour: 14}, 1)
+	b, _ := Synthesize(Config{Name: "night", Base: 100, Peak: 1000, PeakHour: 2}, 2)
 	h, err := Analyze(500, a, b)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +122,7 @@ func TestAnalyzeAntiCorrelatedWorkloads(t *testing.T) {
 }
 
 func TestAnalyzeErrors(t *testing.T) {
-	a, _ := Diurnal(DiurnalConfig{Name: "a", Base: 1, Peak: 2}, 1)
+	a, _ := Synthesize(Config{Name: "a", Base: 1, Peak: 2}, 1)
 	if _, err := Analyze(0, a); err == nil {
 		t.Fatal("zero capacity accepted")
 	}
@@ -165,14 +165,14 @@ func TestCapacityLine(t *testing.T) {
 // (peak of sum <= sum of peaks) and the saving is in [0, 1).
 func TestHeadroomProperty(t *testing.T) {
 	f := func(p1, p2 uint8, h1, h2 uint8) bool {
-		a, err := Diurnal(DiurnalConfig{
+		a, err := Synthesize(Config{
 			Name: "a", Base: 10, Peak: 10 + float64(p1),
 			PeakHour: float64(h1 % 24), BinSec: 600,
 		}, uint64(p1))
 		if err != nil {
 			return false
 		}
-		b, err := Diurnal(DiurnalConfig{
+		b, err := Synthesize(Config{
 			Name: "b", Base: 10, Peak: 10 + float64(p2),
 			PeakHour: float64(h2 % 24), BinSec: 600,
 		}, uint64(p2))

@@ -1,9 +1,9 @@
 package experiments
 
 import (
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/virt"
 	"repro/internal/workload"
 )
@@ -26,8 +26,9 @@ const (
 	// SaturationIntensity is the fraction of dedicated pool *capacity* the
 	// cluster-level experiments offer — the knee of Fig. 9's curves, and
 	// the highest load at which the model-predicted consolidated pool
-	// still meets QoS (see DESIGN.md).
-	SaturationIntensity = 0.70
+	// still meets QoS (see DESIGN.md). The canonical value lives with the
+	// scenario presets, which are the experiments' source of truth.
+	SaturationIntensity = scenario.SaturationIntensity
 )
 
 // caseStudyImpact evaluates the fitted curves at the consolidated host's
@@ -86,44 +87,8 @@ func CaseStudyModel(webServers, dbServers int) (*core.Model, error) {
 	return base.WithIntensiveWorkloads([]int{webServers, dbServers})
 }
 
-// saturationRates reports the cluster-level case-study arrival rates for
-// pools of the given sizes: SaturationIntensity × pool capacity on each
-// service's bottleneck.
-func saturationRates(webServers, dbServers int) (lambdaW, lambdaD float64) {
-	lambdaW = SaturationIntensity * float64(webServers) * workload.WebDiskRate
-	lambdaD = SaturationIntensity * float64(dbServers) * workload.DBCPURate
-	return
-}
-
-// webClusterSpec builds the cluster-simulator Web service at rate lambda.
-func webClusterSpec(lambda float64, dedicated int) cluster.ServiceSpec {
-	return cluster.ServiceSpec{
-		Profile:          workload.SPECwebEcommerce(),
-		Overhead:         virt.WebHostOverhead(),
-		Arrivals:         workload.NewPoisson(lambda),
-		DedicatedServers: dedicated,
-	}
-}
-
-// dbClusterSpec builds the cluster-simulator DB service at rate lambda
-// (open loop, for the deployment comparisons; Fig. 7/8/9a drive the DB
-// closed-loop with emulated browsers instead).
-func dbClusterSpec(lambda float64, dedicated int) cluster.ServiceSpec {
-	return cluster.ServiceSpec{
-		Profile:          workload.TPCWEbook(),
-		Overhead:         virt.DBHostOverhead(),
-		Arrivals:         workload.NewPoisson(lambda),
-		DedicatedServers: dedicated,
-	}
-}
-
-// dbClosedSpec builds the closed-loop DB service with the given emulated
-// browsers.
-func dbClosedSpec(clients, dedicated int) cluster.ServiceSpec {
-	return cluster.ServiceSpec{
-		Profile:          workload.TPCWEbook(),
-		Overhead:         virt.DBHostOverhead(),
-		Clients:          clients,
-		DedicatedServers: dedicated,
-	}
-}
+// The cluster-simulator side of the case study builds its service specs
+// through internal/scenario (scenario.WebSpec, scenario.DBSpec,
+// scenario.DBClosedSpec, scenario.WebSessionsSpec and the registered
+// presets) — one declarative pipeline shared with cmd/simulate and any
+// scenario JSON a reader writes.

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"repro/internal/diurnal"
 	"repro/internal/erlang"
 	"repro/internal/queueing"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -32,7 +32,7 @@ type DiurnalResult struct {
 // ways: from the mean rate, from the daily peak, and from the 95th
 // percentile of the cycle.
 func Diurnal(cfg Config) (*DiurnalResult, error) {
-	day, err := trace.Diurnal(trace.DiurnalConfig{
+	day, err := diurnal.Synthesize(diurnal.Config{
 		Name: "web-day", Base: 1.0, Peak: 5.0, PeakHour: 14, Noise: 0.05,
 		BinSec: 900, // 15-minute bins keep the NHPP windows coarse
 	}, cfg.Seed)
@@ -55,7 +55,7 @@ func Diurnal(cfg Config) (*DiurnalResult, error) {
 		b, err := erlang.B(n, rho)
 		return n, b, err
 	}
-	p95, err := trace.CapacityLine(day, 0.05)
+	p95, err := diurnal.CapacityLine(day, 0.05)
 	if err != nil {
 		return nil, err
 	}

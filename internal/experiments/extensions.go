@@ -12,9 +12,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/erlang"
 	"repro/internal/queueing"
-	"repro/internal/rainbow"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/virt"
 	"repro/internal/workload"
 )
 
@@ -75,7 +74,6 @@ func Hetero(cfg Config) (*HeteroResult, error) {
 
 	horizon := cfg.scale(120)
 	warmup := horizon / 6
-	lambdaW, lambdaD := saturationRates(4, 4)
 
 	for _, fleet := range fleets {
 		for _, objective := range []core.PackObjective{core.MinMachines, core.MinPower} {
@@ -90,7 +88,7 @@ func Hetero(cfg Config) (*HeteroResult, error) {
 			}
 
 			// Validate the packing in the simulator.
-			var classes []cluster.HostClass
+			var classes []scenario.HostClass
 			for _, c := range fleet.classes {
 				n := plan.Allocation[c.Name]
 				if n == 0 {
@@ -100,21 +98,20 @@ func Hetero(cfg Config) (*HeteroResult, error) {
 				for r, v := range c.Capability {
 					capability[string(r)] = v
 				}
-				classes = append(classes, cluster.HostClass{
+				classes = append(classes, scenario.HostClass{
 					Name: c.Name, Count: n, Capability: capability,
 				})
 			}
-			sim, err := cluster.Run(cluster.Config{
-				Mode: cluster.Consolidated,
-				Services: []cluster.ServiceSpec{
-					webClusterSpec(lambdaW, 4),
-					dbClusterSpec(lambdaD, 4),
-				},
-				HostClasses: classes,
-				Horizon:     horizon,
-				Warmup:      warmup,
-				Seed:        cfg.Seed + uint64(len(out.Rows)),
-			})
+			s := scenario.CaseStudy(4, 4, "consolidated", 0)
+			s.Fleet.Classes = classes
+			s.Horizon = horizon
+			s.Warmup = &warmup
+			s.Seed = cfg.Seed + uint64(len(out.Rows))
+			compiled, err := s.Compile()
+			if err != nil {
+				return nil, err
+			}
+			sim, err := cluster.Run(compiled.Cluster)
 			if err != nil {
 				return nil, err
 			}
@@ -405,40 +402,40 @@ type AllocAblationRow struct {
 func AllocAblation(cfg Config) ([]AllocAblationRow, error) {
 	horizon := cfg.scale(120)
 	warmup := horizon / 6
-	lambdaW, lambdaD := saturationRates(3, 3)
+	lambdaW, lambdaD := scenario.SaturationRates(3, 3)
+	proportional := func(period, cost float64) *scenario.Alloc {
+		return &scenario.Alloc{Policy: "proportional", Period: period, MinShare: 0.05, Cost: cost}
+	}
 	policies := []struct {
 		name  string
-		alloc cluster.Partition
+		alloc *scenario.Alloc
 	}{
 		{"ideal-flowing", nil},
-		{"proportional T=0.1s", rainbow.Proportional{RebalancePeriod: 0.1, MinShare: 0.05, Cost: 0.01}},
-		{"proportional T=1s", rainbow.Proportional{RebalancePeriod: 1, MinShare: 0.05, Cost: 0.01}},
-		{"proportional T=10s", rainbow.Proportional{RebalancePeriod: 10, MinShare: 0.05, Cost: 0.01}},
-		{"proportional T=1s cost=10%", rainbow.Proportional{RebalancePeriod: 1, MinShare: 0.05, Cost: 0.10}},
-		{"static", rainbow.Static{}},
+		{"proportional T=0.1s", proportional(0.1, 0.01)},
+		{"proportional T=1s", proportional(1, 0.01)},
+		{"proportional T=10s", proportional(10, 0.01)},
+		{"proportional T=1s cost=10%", proportional(1, 0.10)},
+		{"static", &scenario.Alloc{Policy: "static"}},
 	}
 	var rows []AllocAblationRow
 	for i, p := range policies {
-		res, err := cluster.Run(cluster.Config{
-			Mode: cluster.Consolidated,
-			Services: []cluster.ServiceSpec{
-				{
-					Profile:  workload.SPECwebEcommerce(),
-					Overhead: virt.WebHostOverhead(),
-					Arrivals: workload.NewPoisson(lambdaW),
-				},
-				{
-					Profile:  workload.TPCWEbook(),
-					Overhead: virt.DBHostOverhead(),
-					Arrivals: workload.NewPoisson(lambdaD),
-				},
+		s := scenario.Scenario{
+			Mode: "consolidated",
+			Services: []scenario.Service{
+				scenario.WebSpec(lambdaW, 0),
+				scenario.DBSpec(lambdaD, 0),
 			},
-			ConsolidatedServers: 3,
-			Alloc:               p.alloc,
-			Horizon:             horizon,
-			Warmup:              warmup,
-			Seed:                cfg.Seed + uint64(i),
-		})
+			Fleet:   scenario.Fleet{Hosts: 3},
+			Alloc:   p.alloc,
+			Horizon: horizon,
+			Warmup:  &warmup,
+			Seed:    cfg.Seed + uint64(i),
+		}
+		c, err := s.Compile()
+		if err != nil {
+			return nil, err
+		}
+		res, err := cluster.Run(c.Cluster)
 		if err != nil {
 			return nil, err
 		}

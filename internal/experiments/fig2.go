@@ -3,15 +3,15 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/trace"
+	"repro/internal/diurnal"
 )
 
 // Fig2Result is the motivation analysis: three diurnal workloads with
 // staggered peaks consolidated onto shared servers.
 type Fig2Result struct {
-	Series   []trace.Series
-	Sum      trace.Series
-	Headroom trace.Headroom
+	Series   []diurnal.Series
+	Sum      diurnal.Series
+	Headroom diurnal.Headroom
 	// Line99 is the "guarantee performance in some probability level"
 	// capacity line of Fig. 2(b), at a 1 % exceedance budget.
 	Line99 float64
@@ -21,31 +21,31 @@ type Fig2Result struct {
 // applications with various features" of the paper's Fig. 2) and computes
 // the consolidation headroom.
 func Fig2(cfg Config) (*Fig2Result, error) {
-	specs := []trace.DiurnalConfig{
+	specs := []diurnal.Config{
 		{Name: "web-shop", Base: 150, Peak: 1000, PeakHour: 14, Noise: 0.10},
 		{Name: "batch-report", Base: 100, Peak: 800, PeakHour: 2, Noise: 0.10},
 		{Name: "mail", Base: 120, Peak: 600, PeakHour: 9, Noise: 0.10},
 	}
 	res := &Fig2Result{}
 	for i, sc := range specs {
-		s, err := trace.Diurnal(sc, cfg.Seed+uint64(i))
+		s, err := diurnal.Synthesize(sc, cfg.Seed+uint64(i))
 		if err != nil {
 			return nil, err
 		}
 		res.Series = append(res.Series, s)
 	}
-	sum, err := trace.Sum(res.Series...)
+	sum, err := diurnal.Sum(res.Series...)
 	if err != nil {
 		return nil, err
 	}
 	res.Sum = sum
 	const serverCapacity = 400 // intensity units one server carries
-	h, err := trace.Analyze(serverCapacity, res.Series...)
+	h, err := diurnal.Analyze(serverCapacity, res.Series...)
 	if err != nil {
 		return nil, err
 	}
 	res.Headroom = h
-	line, err := trace.CapacityLine(sum, 0.01)
+	line, err := diurnal.CapacityLine(sum, 0.01)
 	if err != nil {
 		return nil, err
 	}

@@ -6,16 +6,14 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/power"
-	"repro/internal/replicate"
-	"repro/internal/stats"
-	"repro/internal/virt"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
 // SessionRate converts the paper's Fig. 9(b) x-axis (SPECweb2005 sessions)
 // into request rate: each session issues this many requests per second
-// (reconstructed; see DESIGN.md).
-const SessionRate = 2.0
+// (reconstructed; see DESIGN.md). Canonical value: the scenario presets.
+const SessionRate = scenario.SessionRate
 
 // Fig9Result is the workload-selection experiment on 4-server pools.
 type Fig9Result struct {
@@ -43,16 +41,25 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	horizon := cfg.scale(240)
 	warmup := horizon / 4
 	res := &Fig9Result{WIPSLimit: 4 * workload.DBCPURate}
-	reps := replicate.Config{Replications: 2}
+
+	runPoint := func(svc scenario.Service, seed uint64) (*cluster.ReplicationSet, error) {
+		s := scenario.Scenario{
+			Mode:        "dedicated",
+			Services:    []scenario.Service{svc},
+			Horizon:     horizon,
+			Warmup:      &warmup,
+			Seed:        seed,
+			Replication: &scenario.Replication{Reps: 2},
+		}
+		c, err := s.Compile()
+		if err != nil {
+			return nil, err
+		}
+		return cluster.Replications(context.Background(), c.Cluster, c.Replication)
+	}
 
 	for _, eb := range sweepLoads(cfg, 500, 5000, 500) {
-		set, err := cluster.Replications(context.Background(), cluster.Config{
-			Mode:     cluster.Dedicated,
-			Services: []cluster.ServiceSpec{dbClosedSpec(int(eb), 4)},
-			Horizon:  horizon,
-			Warmup:   warmup,
-			Seed:     cfg.Seed + uint64(eb),
-		}, reps)
+		set, err := runPoint(scenario.DBClosedSpec(int(eb), 4), cfg.Seed+uint64(eb))
 		if err != nil {
 			return nil, err
 		}
@@ -64,24 +71,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 		// Drive the Web pool with real SPECweb-style sessions: trains of
 		// ~10 requests separated by half-second think gaps, at a session
 		// arrival rate that offers sessions*SessionRate requests/s overall.
-		const requestsPerSession = 10
-		spec := cluster.ServiceSpec{
-			Profile:  workload.SPECwebEcommerce(),
-			Overhead: virt.WebHostOverhead(),
-			Arrivals: workload.NewSessions(
-				sessions*SessionRate/requestsPerSession,
-				requestsPerSession,
-				stats.NewExponential(2), // 0.5 s mean gap
-			),
-			DedicatedServers: 4,
-		}
-		set, err := cluster.Replications(context.Background(), cluster.Config{
-			Mode:     cluster.Dedicated,
-			Services: []cluster.ServiceSpec{spec},
-			Horizon:  horizon,
-			Warmup:   warmup,
-			Seed:     cfg.Seed + uint64(sessions)*3,
-		}, reps)
+		set, err := runPoint(scenario.WebSessionsSpec(sessions, 4), cfg.Seed+uint64(sessions)*3)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +81,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 
 	// The selection rule: the knee sits at SaturationIntensity of pool
 	// capacity.
-	lambdaW, lambdaD := saturationRates(4, 4)
+	lambdaW, lambdaD := scenario.SaturationRates(4, 4)
 	res.SelectedSessions = lambdaW / SessionRate
 	res.SelectedEBs = lambdaD * 7 // Little's law with 7 s think time
 	return res, nil
@@ -159,20 +149,17 @@ type GroupResult struct {
 func runGroup(cfg Config, id string, webServers, dbServers int, consSizes []int) (*GroupResult, error) {
 	horizon := cfg.scale(120)
 	warmup := horizon / 6
-	lambdaW, lambdaD := saturationRates(webServers, dbServers)
 
-	runOne := func(mode cluster.Mode, consolidated int, seed uint64) (*cluster.Result, error) {
-		return cluster.Run(cluster.Config{
-			Mode: mode,
-			Services: []cluster.ServiceSpec{
-				webClusterSpec(lambdaW, webServers),
-				dbClusterSpec(lambdaD, dbServers),
-			},
-			ConsolidatedServers: consolidated,
-			Horizon:             horizon,
-			Warmup:              warmup,
-			Seed:                seed,
-		})
+	runOne := func(mode string, consolidated int, seed uint64) (*cluster.Result, error) {
+		s := scenario.CaseStudy(webServers, dbServers, mode, consolidated)
+		s.Horizon = horizon
+		s.Warmup = &warmup
+		s.Seed = seed
+		c, err := s.Compile()
+		if err != nil {
+			return nil, err
+		}
+		return cluster.Run(c.Cluster)
 	}
 
 	res := &GroupResult{ID: id}
@@ -191,7 +178,7 @@ func runGroup(cfg Config, id string, webServers, dbServers int, consSizes []int)
 		}
 	}
 
-	ded, err := runOne(cluster.Dedicated, 0, cfg.Seed+1)
+	ded, err := runOne("dedicated", 0, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +186,7 @@ func runGroup(cfg Config, id string, webServers, dbServers int, consSizes []int)
 		fmt.Sprintf("%d dedicated", webServers+dbServers), webServers+dbServers, ded))
 
 	for i, n := range consSizes {
-		out, err := runOne(cluster.Consolidated, n, cfg.Seed+10+uint64(i))
+		out, err := runOne("consolidated", n, cfg.Seed+10+uint64(i))
 		if err != nil {
 			return nil, err
 		}

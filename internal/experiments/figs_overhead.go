@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/replicate"
+	"repro/internal/scenario"
 	"repro/internal/virt"
 	"repro/internal/workload"
 )
@@ -31,8 +31,8 @@ type OverheadResult struct {
 // co-located VMs of the same service. Each point averages `replications`
 // parallel independent replications (1 = a single run, bit-identical to the
 // pre-engine sweep).
-func overheadSweep(cfg Config, id string, profile workload.ServiceProfile,
-	overhead virt.HostOverhead, loads []float64, closedLoop bool, maxVMs, replications int) (*OverheadResult, error) {
+func overheadSweep(cfg Config, id, profilePreset, overheadPreset string,
+	loads []float64, closedLoop bool, maxVMs, replications int) (*OverheadResult, error) {
 
 	horizon := cfg.scale(40)
 	warmup := horizon / 5
@@ -48,49 +48,55 @@ func overheadSweep(cfg Config, id string, profile workload.ServiceProfile,
 	}
 
 	runOne := func(vms int, load float64, seed uint64) (float64, error) {
-		var c cluster.Config
+		s := scenario.Scenario{
+			Horizon:     horizon,
+			Warmup:      &warmup,
+			Seed:        seed,
+			Replication: &scenario.Replication{Reps: replications},
+		}
 		if vms == 0 {
-			spec := cluster.ServiceSpec{Profile: profile, DedicatedServers: 1}
+			svc := scenario.Service{
+				Profile:          scenario.Profile{Preset: profilePreset},
+				DedicatedServers: 1,
+			}
 			if closedLoop {
-				spec.Clients = int(load)
+				svc.Clients = int(load)
 			} else {
-				spec.Arrivals = workload.NewPoisson(load)
+				svc.Arrivals = workload.PoissonSpec(load)
 			}
-			c = cluster.Config{
-				Mode:     cluster.Dedicated,
-				Services: []cluster.ServiceSpec{spec},
-			}
+			s.Mode = "dedicated"
+			s.Services = []scenario.Service{svc}
 		} else {
-			specs := make([]cluster.ServiceSpec, vms)
-			for i := range specs {
-				specs[i] = cluster.ServiceSpec{Profile: profile, Overhead: overhead}
+			svcs := make([]scenario.Service, vms)
+			for i := range svcs {
+				svcs[i] = scenario.Service{
+					Profile:  scenario.Profile{Preset: profilePreset},
+					Overhead: &scenario.Overhead{Preset: overheadPreset},
+				}
 				if closedLoop {
-					specs[i].Clients = int(load) / vms
+					svcs[i].Clients = int(load) / vms
 					if i < int(load)%vms {
-						specs[i].Clients++
+						svcs[i].Clients++
 					}
-					if specs[i].Clients == 0 {
-						specs[i].Clients = 1
+					if svcs[i].Clients == 0 {
+						svcs[i].Clients = 1
 					}
 				} else {
-					specs[i].Arrivals = workload.NewPoisson(load / float64(vms))
+					svcs[i].Arrivals = workload.PoissonSpec(load / float64(vms))
 				}
 			}
-			c = cluster.Config{
-				Mode:                cluster.Consolidated,
-				Services:            specs,
-				ConsolidatedServers: 1,
-				// The VM-count sweeps pack up to 9 VMs on one host; give
-				// it the memory to hold them (the two-group case study
-				// stays on the default 8 GB hosts).
-				HostMemoryGB: float64(vms) + 2,
-			}
+			s.Mode = "consolidated"
+			s.Services = svcs
+			// The VM-count sweeps pack up to 9 VMs on one host; give it
+			// the memory to hold them (the two-group case study stays on
+			// the default 8 GB hosts).
+			s.Fleet = scenario.Fleet{Hosts: 1, HostMemoryGB: float64(vms) + 2}
 		}
-		c.Horizon = horizon
-		c.Warmup = warmup
-		c.Seed = seed
-		set, err := cluster.Replications(context.Background(), c,
-			replicate.Config{Replications: replications})
+		c, err := s.Compile()
+		if err != nil {
+			return 0, err
+		}
+		set, err := cluster.Replications(context.Background(), c.Cluster, c.Replication)
 		if err != nil {
 			return 0, err
 		}
@@ -220,8 +226,8 @@ func maxVMsFor(cfg Config) int {
 // 5.7 GB SPECweb2005 fileset; throughput degrades with VM count and the
 // impact factor fits a declining line (a = 1.082 − 0.102·v reconstructed).
 func Fig5(cfg Config) (*OverheadResult, error) {
-	res, err := overheadSweep(cfg, "fig5", workload.SPECwebEcommerce(),
-		virt.WebHostOverhead(), sweepLoads(cfg, 100, 1500, 100), false, maxVMsFor(cfg), 1)
+	res, err := overheadSweep(cfg, "fig5", "specweb-ecommerce", "web",
+		sweepLoads(cfg, 100, 1500, 100), false, maxVMsFor(cfg), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -243,8 +249,8 @@ func runFig5(cfg Config) ([]*Table, error) {
 // cached 8 KB file; CPU is the bottleneck and the impact factor fits
 // a = 0.658 − 0.0139·v.
 func Fig6(cfg Config) (*OverheadResult, error) {
-	res, err := overheadSweep(cfg, "fig6", workload.SPECwebCPUBound(),
-		virt.WebHostOverhead(), sweepLoads(cfg, 400, 4000, 400), false, maxVMsFor(cfg), 1)
+	res, err := overheadSweep(cfg, "fig6", "specweb-cpubound", "web",
+		sweepLoads(cfg, 400, 4000, 400), false, maxVMsFor(cfg), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -269,8 +275,8 @@ func runFig6(cfg Config) ([]*Table, error) {
 // noisiest regression in the suite, so each point averages two parallel
 // replications.
 func Fig8(cfg Config) (*OverheadResult, error) {
-	res, err := overheadSweep(cfg, "fig8", workload.TPCWEbook(),
-		virt.DBHostOverhead(), sweepLoads(cfg, 200, 2200, 200), true, maxVMsFor(cfg), 2)
+	res, err := overheadSweep(cfg, "fig8", "tpcw-ebook", "db",
+		sweepLoads(cfg, 200, 2200, 200), true, maxVMsFor(cfg), 2)
 	if err != nil {
 		return nil, err
 	}
@@ -305,22 +311,27 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 	res := &Fig7Result{EBs: ebs}
 	for _, pinned := range []bool{true, false} {
 		for li, eb := range ebs {
-			overhead := virt.DBHostOverhead()
+			overhead := &scenario.Overhead{Preset: "db"}
 			if !pinned {
-				overhead.Pinning = virt.XenScheduledVCPUs
+				overhead.Pinning = "xen-scheduled"
 			}
-			out, err := cluster.Run(cluster.Config{
-				Mode: cluster.Consolidated,
-				Services: []cluster.ServiceSpec{{
-					Profile:  workload.TPCWEbook(),
+			s := scenario.Scenario{
+				Mode: "consolidated",
+				Services: []scenario.Service{{
+					Profile:  scenario.Profile{Preset: "tpcw-ebook"},
 					Overhead: overhead,
 					Clients:  int(eb),
 				}},
-				ConsolidatedServers: 1,
-				Horizon:             horizon,
-				Warmup:              warmup,
-				Seed:                cfg.Seed + uint64(li),
-			})
+				Fleet:   scenario.Fleet{Hosts: 1},
+				Horizon: horizon,
+				Warmup:  &warmup,
+				Seed:    cfg.Seed + uint64(li),
+			}
+			c, err := s.Compile()
+			if err != nil {
+				return nil, err
+			}
+			out, err := cluster.Run(c.Cluster)
 			if err != nil {
 				return nil, err
 			}

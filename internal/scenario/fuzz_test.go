@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// FuzzParse drives the strict JSON decoder, the validator and the compiler
+// with arbitrary input. The invariants: none of them panic; a scenario
+// that validates also compiles; and the resolved encoding round-trips
+// losslessly. The shipped examples seed the corpus.
+func FuzzParse(f *testing.F) {
+	for _, file := range exampleFiles(f) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"services":[{"profile":{"preset":"tpcw-ebook"},"clients":10,"dedicated_servers":1}]}`))
+	f.Add([]byte(`{"mode":"dedicated","alloc":{"policy":"static"}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseBytes(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		c, err := s.Compile()
+		if err != nil {
+			// A scenario can validate structurally yet fail the compiled
+			// cluster config's cross-checks (e.g. memory placement); that
+			// must surface as an error, never a panic.
+			return
+		}
+		if err := c.Cluster.Validate(); err != nil {
+			t.Fatalf("compiled config invalid: %v", err)
+		}
+		// Resolved encoding is a fixed point: encode → parse → encode.
+		s.ApplyDefaults()
+		var first bytes.Buffer
+		if err := s.Encode(&first); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := ParseBytes(first.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip changed the scenario:\n%+v\n%+v", s, back)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The case-study workload calibration shared by the presets and the
+// experiment runners (DESIGN.md §2).
+const (
+	// SaturationIntensity is the fraction of dedicated pool capacity the
+	// cluster-level case studies offer — the knee of Fig. 9's curves, and
+	// the highest load at which the model-predicted consolidated pool
+	// still meets QoS.
+	SaturationIntensity = 0.70
+
+	// SessionRate converts the paper's Fig. 9(b) x-axis (SPECweb2005
+	// sessions) into request rate: each session issues this many requests
+	// per second (reconstructed; see DESIGN.md).
+	SessionRate = 2.0
+
+	// RequestsPerSession is the mean length of one SPECweb-style session
+	// train in the Fig. 9(b) sweep.
+	RequestsPerSession = 10
+)
+
+// SaturationRates reports the case-study arrival rates for dedicated pools
+// of the given sizes: SaturationIntensity × pool capacity on each
+// service's bottleneck resource.
+func SaturationRates(webServers, dbServers int) (lambdaW, lambdaD float64) {
+	lambdaW = SaturationIntensity * float64(webServers) * workload.WebDiskRate
+	lambdaD = SaturationIntensity * float64(dbServers) * workload.DBCPURate
+	return
+}
+
+// WebSpec builds the case-study Web service (SPECweb2005 e-commerce,
+// Fig. 5 curves) driven open-loop at rate lambda. The dedicated pool size
+// rides along so the same spec serves both deployment modes.
+func WebSpec(lambda float64, dedicated int) Service {
+	return Service{
+		Profile:          Profile{Preset: "specweb-ecommerce"},
+		Overhead:         &Overhead{Preset: "web"},
+		Arrivals:         workload.PoissonSpec(lambda),
+		DedicatedServers: dedicated,
+	}
+}
+
+// DBSpec builds the case-study DB service (TPC-W e-book, Fig. 8 curve)
+// driven open-loop at rate lambda.
+func DBSpec(lambda float64, dedicated int) Service {
+	return Service{
+		Profile:          Profile{Preset: "tpcw-ebook"},
+		Overhead:         &Overhead{Preset: "db"},
+		Arrivals:         workload.PoissonSpec(lambda),
+		DedicatedServers: dedicated,
+	}
+}
+
+// DBClosedSpec builds the closed-loop DB service with the given emulated
+// browsers (TPC-W style, 7 s default think time).
+func DBClosedSpec(clients, dedicated int) Service {
+	return Service{
+		Profile:          Profile{Preset: "tpcw-ebook"},
+		Overhead:         &Overhead{Preset: "db"},
+		Clients:          clients,
+		DedicatedServers: dedicated,
+	}
+}
+
+// WebSessionsSpec builds the Web service driven by SPECweb-style sessions:
+// trains of RequestsPerSession requests separated by half-second think
+// gaps, at a session arrival rate offering sessions×SessionRate requests/s
+// overall — the Fig. 9(b) sweep's workload.
+func WebSessionsSpec(sessions float64, dedicated int) Service {
+	return Service{
+		Profile:  Profile{Preset: "specweb-ecommerce"},
+		Overhead: &Overhead{Preset: "web"},
+		Arrivals: &workload.ArrivalSpec{
+			Kind:         "sessions",
+			SessionRate:  sessions * SessionRate / RequestsPerSession,
+			MeanRequests: RequestsPerSession,
+			Gap:          &stats.DistSpec{Kind: "exponential", Rate: 2}, // 0.5 s mean gap
+		},
+		DedicatedServers: dedicated,
+	}
+}
+
+// CaseStudy builds the two-service case-study scenario at the saturation
+// workloads of dedicated pools sized webServers and dbServers. Mode is
+// "dedicated" (hosts is ignored) or "consolidated" (hosts shared servers).
+func CaseStudy(webServers, dbServers int, mode string, hosts int) Scenario {
+	lambdaW, lambdaD := SaturationRates(webServers, dbServers)
+	s := Scenario{
+		Name: fmt.Sprintf("casestudy-%d+%d-%s", webServers, dbServers, mode),
+		Mode: mode,
+		Services: []Service{
+			WebSpec(lambdaW, webServers),
+			DBSpec(lambdaD, dbServers),
+		},
+	}
+	if mode == "consolidated" {
+		s.Fleet.Hosts = hosts
+	}
+	return s
+}
+
+// presetBuilders is the named-scenario registry.
+var presetBuilders = map[string]func() Scenario{}
+
+// Register adds a named scenario builder. It panics on a duplicate name —
+// registration happens at init time, where a collision is a programming
+// error.
+func Register(name string, build func() Scenario) {
+	if name == "" || build == nil {
+		panic("scenario: Register needs a name and a builder")
+	}
+	if _, dup := presetBuilders[name]; dup {
+		panic(fmt.Sprintf("scenario: preset %q registered twice", name))
+	}
+	presetBuilders[name] = build
+}
+
+// Preset returns a fresh copy of the named scenario.
+func Preset(name string) (Scenario, error) {
+	build, ok := presetBuilders[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: unknown preset %q (have %s)",
+			ErrInvalid, name, presetNameList(Names()))
+	}
+	return build(), nil
+}
+
+// Names lists the registered preset names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(presetBuilders))
+	for n := range presetBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	// The paper's deployment groups (Figs. 10–11): dedicated baselines and
+	// their consolidated counterparts at the saturation workloads.
+	Register("casestudy-4+4", func() Scenario {
+		s := CaseStudy(4, 4, "consolidated", 4)
+		s.Name = "casestudy-4+4"
+		s.Notes = "Fig. 11 group 2: 4 consolidated Xen servers hosting the Web+DB saturation workloads of a 4+4 dedicated deployment."
+		return s
+	})
+	Register("casestudy-4+4-dedicated", func() Scenario {
+		s := CaseStudy(4, 4, "dedicated", 0)
+		s.Name = "casestudy-4+4-dedicated"
+		s.Notes = "Fig. 11 group 2 baseline: 8 dedicated native-Linux servers (4 Web + 4 DB) at the saturation workloads."
+		return s
+	})
+	Register("casestudy-3+3", func() Scenario {
+		s := CaseStudy(3, 3, "consolidated", 3)
+		s.Name = "casestudy-3+3"
+		s.Notes = "Fig. 10 group 1: 3 consolidated servers matching a 3+3 dedicated deployment."
+		return s
+	})
+
+	// The Fig. 9 workload-selection operating points (the red circles).
+	Register("fig9-db-closed", func() Scenario {
+		_, lambdaD := SaturationRates(4, 4)
+		clients := int(lambdaD * 7) // Little's law with 7 s think time
+		return Scenario{
+			Name:     "fig9-db-closed",
+			Notes:    "Fig. 9(a) selected point: closed-loop TPC-W browsing on 4 dedicated DB servers.",
+			Mode:     "dedicated",
+			Services: []Service{DBClosedSpec(clients, 4)},
+		}
+	})
+	Register("fig9-web-sessions", func() Scenario {
+		lambdaW, _ := SaturationRates(4, 4)
+		return Scenario{
+			Name:     "fig9-web-sessions",
+			Notes:    "Fig. 9(b) selected point: SPECweb session trains on 4 dedicated Web servers.",
+			Mode:     "dedicated",
+			Services: []Service{WebSessionsSpec(lambdaW/SessionRate, 4)},
+		}
+	})
+}

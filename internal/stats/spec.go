@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistSpec is the declarative, JSON-serializable description of a
+// Distribution: a kind tag plus the flat union of every kind's parameters.
+// It is the codec scenario files use to name service-time, think-time and
+// inter-arrival distributions without holding live Distribution values.
+//
+// Kinds and their parameters:
+//
+//	exponential    rate
+//	deterministic  value
+//	uniform        lo, hi
+//	pareto         xm, alpha
+//	hyperexp       p1, rate1, rate2
+//	erlangk        k, rate
+//	lognormal      mu, sigma
+//	scaled         factor, of (a nested spec)
+//
+// Unused parameters must be left zero; Validate rejects out-of-domain
+// values, and Build never panics on a validated spec.
+type DistSpec struct {
+	Kind string `json:"kind"`
+
+	// exponential, erlangk (per-phase), hyperexp via Rate1/Rate2.
+	Rate float64 `json:"rate,omitempty"`
+
+	// deterministic.
+	Value float64 `json:"value,omitempty"`
+
+	// uniform.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+
+	// pareto.
+	Xm    float64 `json:"xm,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+
+	// hyperexp.
+	P1    float64 `json:"p1,omitempty"`
+	Rate1 float64 `json:"rate1,omitempty"`
+	Rate2 float64 `json:"rate2,omitempty"`
+
+	// erlangk.
+	K int `json:"k,omitempty"`
+
+	// lognormal.
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+
+	// scaled.
+	Factor float64   `json:"factor,omitempty"`
+	Of     *DistSpec `json:"of,omitempty"`
+}
+
+// ErrInvalidSpec reports an unusable declarative spec.
+var ErrInvalidSpec = fmt.Errorf("stats: invalid distribution spec")
+
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Validate checks that the spec describes a buildable distribution.
+func (s DistSpec) Validate() error {
+	switch s.Kind {
+	case "exponential":
+		if !finitePositive(s.Rate) {
+			return fmt.Errorf("%w: exponential rate %g", ErrInvalidSpec, s.Rate)
+		}
+	case "deterministic":
+		if s.Value < 0 || !finite(s.Value) {
+			return fmt.Errorf("%w: deterministic value %g", ErrInvalidSpec, s.Value)
+		}
+	case "uniform":
+		if !finite(s.Lo) || !finite(s.Hi) || s.Lo < 0 || s.Hi < s.Lo {
+			return fmt.Errorf("%w: uniform [%g, %g]", ErrInvalidSpec, s.Lo, s.Hi)
+		}
+	case "pareto":
+		if !finitePositive(s.Xm) || !finitePositive(s.Alpha) {
+			return fmt.Errorf("%w: pareto xm=%g alpha=%g", ErrInvalidSpec, s.Xm, s.Alpha)
+		}
+	case "hyperexp":
+		if math.IsNaN(s.P1) || s.P1 < 0 || s.P1 > 1 {
+			return fmt.Errorf("%w: hyperexp p1 %g", ErrInvalidSpec, s.P1)
+		}
+		if !finitePositive(s.Rate1) || !finitePositive(s.Rate2) {
+			return fmt.Errorf("%w: hyperexp rates %g, %g", ErrInvalidSpec, s.Rate1, s.Rate2)
+		}
+	case "erlangk":
+		if s.K < 1 {
+			return fmt.Errorf("%w: erlangk k %d", ErrInvalidSpec, s.K)
+		}
+		if !finitePositive(s.Rate) {
+			return fmt.Errorf("%w: erlangk rate %g", ErrInvalidSpec, s.Rate)
+		}
+	case "lognormal":
+		if !finite(s.Mu) || !finite(s.Sigma) || s.Sigma < 0 {
+			return fmt.Errorf("%w: lognormal mu=%g sigma=%g", ErrInvalidSpec, s.Mu, s.Sigma)
+		}
+	case "scaled":
+		if !finitePositive(s.Factor) {
+			return fmt.Errorf("%w: scale factor %g", ErrInvalidSpec, s.Factor)
+		}
+		if s.Of == nil {
+			return fmt.Errorf("%w: scaled needs a nested spec", ErrInvalidSpec)
+		}
+		return s.Of.Validate()
+	case "":
+		return fmt.Errorf("%w: missing kind", ErrInvalidSpec)
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrInvalidSpec, s.Kind)
+	}
+	return nil
+}
+
+// Build materializes the distribution. It validates first, so it never
+// panics; the returned Distribution is identical to one built through the
+// package's constructors with the same parameters.
+func (s DistSpec) Build() (Distribution, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case "exponential":
+		return Exponential{Rate: s.Rate}, nil
+	case "deterministic":
+		return Deterministic{Value: s.Value}, nil
+	case "uniform":
+		return Uniform{Lo: s.Lo, Hi: s.Hi}, nil
+	case "pareto":
+		return Pareto{Xm: s.Xm, Alpha: s.Alpha}, nil
+	case "hyperexp":
+		return HyperExp{P1: s.P1, Rate1: s.Rate1, Rate2: s.Rate2}, nil
+	case "erlangk":
+		return ErlangK{K: s.K, Rate: s.Rate}, nil
+	case "lognormal":
+		return LogNormal{Mu: s.Mu, Sigma: s.Sigma}, nil
+	case "scaled":
+		inner, err := s.Of.Build()
+		if err != nil {
+			return nil, err
+		}
+		return Scaled{D: inner, Factor: s.Factor}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %q", ErrInvalidSpec, s.Kind)
+}
+
+// ExpSpec is shorthand for the exponential spec with the given rate.
+func ExpSpec(rate float64) DistSpec { return DistSpec{Kind: "exponential", Rate: rate} }

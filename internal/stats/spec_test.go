@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDistSpecBuildMatchesConstructors(t *testing.T) {
+	cases := []struct {
+		spec DistSpec
+		want Distribution
+	}{
+		{ExpSpec(1420), NewExponential(1420)},
+		{DistSpec{Kind: "deterministic", Value: 2.5}, Deterministic{Value: 2.5}},
+		{DistSpec{Kind: "uniform", Lo: 1, Hi: 3}, Uniform{Lo: 1, Hi: 3}},
+		{DistSpec{Kind: "pareto", Xm: 0.5, Alpha: 2.5}, Pareto{Xm: 0.5, Alpha: 2.5}},
+		{DistSpec{Kind: "hyperexp", P1: 0.25, Rate1: 2, Rate2: 0.5}, HyperExp{P1: 0.25, Rate1: 2, Rate2: 0.5}},
+		{DistSpec{Kind: "erlangk", K: 4, Rate: 8}, ErlangKWithMean(0.5, 4)},
+		{DistSpec{Kind: "lognormal", Mu: 0, Sigma: 1}, LogNormal{Mu: 0, Sigma: 1}},
+		{DistSpec{Kind: "scaled", Factor: 2, Of: &DistSpec{Kind: "exponential", Rate: 1}},
+			Scaled{D: Exponential{Rate: 1}, Factor: 2}},
+	}
+	for _, c := range cases {
+		got, err := c.spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec.Kind, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: built %#v, want %#v", c.spec.Kind, got, c.want)
+		}
+	}
+}
+
+func TestDistSpecValidateRejects(t *testing.T) {
+	bad := []DistSpec{
+		{},
+		{Kind: "gamma"},
+		{Kind: "exponential"},
+		{Kind: "exponential", Rate: -1},
+		{Kind: "exponential", Rate: math.Inf(1)},
+		{Kind: "deterministic", Value: -1},
+		{Kind: "uniform", Lo: 3, Hi: 1},
+		{Kind: "uniform", Lo: -1, Hi: 1},
+		{Kind: "pareto", Xm: 0, Alpha: 1},
+		{Kind: "hyperexp", P1: 1.5, Rate1: 1, Rate2: 1},
+		{Kind: "hyperexp", P1: 0.5, Rate1: 0, Rate2: 1},
+		{Kind: "erlangk", K: 0, Rate: 1},
+		{Kind: "erlangk", K: 2, Rate: 0},
+		{Kind: "lognormal", Sigma: -1},
+		{Kind: "scaled", Factor: 2},
+		{Kind: "scaled", Factor: 0, Of: &DistSpec{Kind: "exponential", Rate: 1}},
+		{Kind: "scaled", Factor: 2, Of: &DistSpec{Kind: "exponential"}},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %+v validated", spec)
+		}
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("spec %+v built", spec)
+		}
+	}
+}
+
+func TestDistSpecJSONRoundTrip(t *testing.T) {
+	spec := DistSpec{Kind: "scaled", Factor: 1.5, Of: &DistSpec{Kind: "hyperexp", P1: 0.3, Rate1: 2, Rate2: 0.25}}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DistSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip %+v -> %+v", spec, back)
+	}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ArrivalSpec is the declarative, JSON-serializable description of an
+// ArrivalProcess: a kind tag plus the flat union of every kind's
+// parameters. Scenario files use it to name arrival processes without
+// holding live (stateful) process values; Build materializes a fresh
+// process, so every caller gets independent state.
+//
+// Kinds and their parameters:
+//
+//	poisson    rate
+//	renewal    inter (a distribution spec)
+//	mmpp2      rate1, rate2, hold1, hold2
+//	onoff      rate1 (burst rate), hold1 (mean burst), hold2 (mean idle)
+//	nhpp       rates, bin_sec, cycle
+//	sessions   session_rate, mean_requests, gap (optional distribution)
+//	superpose  parts (nested specs)
+//
+// Unused parameters must be left zero; Validate rejects out-of-domain
+// values, and Build never panics on a validated spec.
+type ArrivalSpec struct {
+	Kind string `json:"kind"`
+
+	// poisson.
+	Rate float64 `json:"rate,omitempty"`
+
+	// renewal.
+	Inter *stats.DistSpec `json:"inter,omitempty"`
+
+	// mmpp2 (onoff uses rate1/hold1/hold2).
+	Rate1 float64 `json:"rate1,omitempty"`
+	Rate2 float64 `json:"rate2,omitempty"`
+	Hold1 float64 `json:"hold1,omitempty"`
+	Hold2 float64 `json:"hold2,omitempty"`
+
+	// nhpp.
+	Rates  []float64 `json:"rates,omitempty"`
+	BinSec float64   `json:"bin_sec,omitempty"`
+	Cycle  bool      `json:"cycle,omitempty"`
+
+	// sessions.
+	SessionRate  float64         `json:"session_rate,omitempty"`
+	MeanRequests float64         `json:"mean_requests,omitempty"`
+	Gap          *stats.DistSpec `json:"gap,omitempty"`
+
+	// superpose.
+	Parts []ArrivalSpec `json:"parts,omitempty"`
+}
+
+// ErrInvalidSpec reports an unusable declarative arrival spec.
+var ErrInvalidSpec = fmt.Errorf("workload: invalid arrival spec")
+
+func specFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func specPositive(v float64) bool { return v > 0 && specFinite(v) }
+
+// Validate checks that the spec describes a buildable arrival process.
+func (s ArrivalSpec) Validate() error {
+	switch s.Kind {
+	case "poisson":
+		if !specPositive(s.Rate) {
+			return fmt.Errorf("%w: poisson rate %g", ErrInvalidSpec, s.Rate)
+		}
+	case "renewal":
+		if s.Inter == nil {
+			return fmt.Errorf("%w: renewal needs an inter-arrival distribution", ErrInvalidSpec)
+		}
+		if err := s.Inter.Validate(); err != nil {
+			return err
+		}
+	case "mmpp2":
+		if s.Rate1 < 0 || s.Rate2 < 0 || !specFinite(s.Rate1) || !specFinite(s.Rate2) {
+			return fmt.Errorf("%w: mmpp2 rates %g, %g", ErrInvalidSpec, s.Rate1, s.Rate2)
+		}
+		if s.Rate1 == 0 && s.Rate2 == 0 {
+			return fmt.Errorf("%w: mmpp2 needs a positive rate in some phase", ErrInvalidSpec)
+		}
+		if !specPositive(s.Hold1) || !specPositive(s.Hold2) {
+			return fmt.Errorf("%w: mmpp2 holding times %g, %g", ErrInvalidSpec, s.Hold1, s.Hold2)
+		}
+	case "onoff":
+		if !specPositive(s.Rate1) {
+			return fmt.Errorf("%w: onoff burst rate %g", ErrInvalidSpec, s.Rate1)
+		}
+		if !specPositive(s.Hold1) || !specPositive(s.Hold2) {
+			return fmt.Errorf("%w: onoff burst/idle times %g, %g", ErrInvalidSpec, s.Hold1, s.Hold2)
+		}
+	case "nhpp":
+		if len(s.Rates) == 0 {
+			return fmt.Errorf("%w: nhpp needs at least one rate", ErrInvalidSpec)
+		}
+		positive := false
+		for i, r := range s.Rates {
+			if r < 0 || !specFinite(r) {
+				return fmt.Errorf("%w: nhpp rate[%d] %g", ErrInvalidSpec, i, r)
+			}
+			if r > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return fmt.Errorf("%w: nhpp needs a positive rate somewhere", ErrInvalidSpec)
+		}
+		if !specPositive(s.BinSec) {
+			return fmt.Errorf("%w: nhpp bin width %g", ErrInvalidSpec, s.BinSec)
+		}
+	case "sessions":
+		if !specPositive(s.SessionRate) {
+			return fmt.Errorf("%w: session rate %g", ErrInvalidSpec, s.SessionRate)
+		}
+		if s.MeanRequests < 1 || !specFinite(s.MeanRequests) {
+			return fmt.Errorf("%w: mean requests/session %g", ErrInvalidSpec, s.MeanRequests)
+		}
+		if s.Gap != nil {
+			if err := s.Gap.Validate(); err != nil {
+				return err
+			}
+		}
+	case "superpose":
+		if len(s.Parts) == 0 {
+			return fmt.Errorf("%w: superpose needs at least one part", ErrInvalidSpec)
+		}
+		for i := range s.Parts {
+			if err := s.Parts[i].Validate(); err != nil {
+				return fmt.Errorf("superpose part %d: %w", i, err)
+			}
+		}
+	case "":
+		return fmt.Errorf("%w: missing kind", ErrInvalidSpec)
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrInvalidSpec, s.Kind)
+	}
+	return nil
+}
+
+// Build materializes a fresh arrival process with pristine state. It
+// validates first, so it never panics; the returned process is identical
+// to one built through the package's constructors with the same
+// parameters.
+func (s ArrivalSpec) Build() (ArrivalProcess, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case "poisson":
+		return NewPoisson(s.Rate), nil
+	case "renewal":
+		inter, err := s.Inter.Build()
+		if err != nil {
+			return nil, err
+		}
+		return &Renewal{Inter: inter}, nil
+	case "mmpp2":
+		return NewMMPP2(s.Rate1, s.Rate2, s.Hold1, s.Hold2), nil
+	case "onoff":
+		return OnOff(s.Rate1, s.Hold1, s.Hold2), nil
+	case "nhpp":
+		return NewNHPP(s.Rates, s.BinSec, s.Cycle), nil
+	case "sessions":
+		var gap stats.Distribution
+		if s.Gap != nil {
+			var err error
+			gap, err = s.Gap.Build()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return NewSessions(s.SessionRate, s.MeanRequests, gap), nil
+	case "superpose":
+		procs := make([]ArrivalProcess, len(s.Parts))
+		for i := range s.Parts {
+			p, err := s.Parts[i].Build()
+			if err != nil {
+				return nil, err
+			}
+			procs[i] = p
+		}
+		return NewSuperpose(procs...), nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %q", ErrInvalidSpec, s.Kind)
+}
+
+// PoissonSpec is shorthand for the Poisson spec with the given rate.
+func PoissonSpec(rate float64) *ArrivalSpec { return &ArrivalSpec{Kind: "poisson", Rate: rate} }

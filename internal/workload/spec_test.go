@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestArrivalSpecBuildMatchesConstructors(t *testing.T) {
+	cases := []struct {
+		spec ArrivalSpec
+		want ArrivalProcess
+	}{
+		{*PoissonSpec(100), NewPoisson(100)},
+		{ArrivalSpec{Kind: "renewal", Inter: &stats.DistSpec{Kind: "deterministic", Value: 0.01}},
+			&Renewal{Inter: stats.Deterministic{Value: 0.01}}},
+		{ArrivalSpec{Kind: "mmpp2", Rate1: 10, Rate2: 1, Hold1: 2, Hold2: 5},
+			NewMMPP2(10, 1, 2, 5)},
+		{ArrivalSpec{Kind: "onoff", Rate1: 20, Hold1: 1, Hold2: 3}, OnOff(20, 1, 3)},
+		{ArrivalSpec{Kind: "nhpp", Rates: []float64{1, 5, 2}, BinSec: 60, Cycle: true},
+			NewNHPP([]float64{1, 5, 2}, 60, true)},
+		{ArrivalSpec{Kind: "sessions", SessionRate: 2, MeanRequests: 10,
+			Gap: &stats.DistSpec{Kind: "exponential", Rate: 2}},
+			NewSessions(2, 10, stats.Exponential{Rate: 2})},
+	}
+	for _, c := range cases {
+		got, err := c.spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec.Kind, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: built %#v, want %#v", c.spec.Kind, got, c.want)
+		}
+	}
+}
+
+func TestArrivalSpecSuperpose(t *testing.T) {
+	spec := ArrivalSpec{Kind: "superpose", Parts: []ArrivalSpec{
+		*PoissonSpec(5),
+		{Kind: "mmpp2", Rate1: 4, Rate2: 1, Hold1: 1, Hold2: 1},
+	}}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := p.(*Superpose)
+	if !ok {
+		t.Fatalf("built %T", p)
+	}
+	if got, want := sp.Rate(), 5+2.5; got != want {
+		t.Fatalf("superposed rate %g, want %g", got, want)
+	}
+	// Each Build call returns independent state.
+	q, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == q {
+		t.Fatal("Build returned shared process state")
+	}
+}
+
+func TestArrivalSpecValidateRejects(t *testing.T) {
+	bad := []ArrivalSpec{
+		{},
+		{Kind: "weibull"},
+		{Kind: "poisson"},
+		{Kind: "poisson", Rate: -1},
+		{Kind: "renewal"},
+		{Kind: "renewal", Inter: &stats.DistSpec{Kind: "exponential"}},
+		{Kind: "mmpp2", Rate1: 0, Rate2: 0, Hold1: 1, Hold2: 1},
+		{Kind: "mmpp2", Rate1: 1, Rate2: 1, Hold1: 0, Hold2: 1},
+		{Kind: "onoff", Rate1: 0, Hold1: 1, Hold2: 1},
+		{Kind: "nhpp", BinSec: 60},
+		{Kind: "nhpp", Rates: []float64{0, 0}, BinSec: 60},
+		{Kind: "nhpp", Rates: []float64{1, -2}, BinSec: 60},
+		{Kind: "nhpp", Rates: []float64{1}, BinSec: 0},
+		{Kind: "sessions", SessionRate: 0, MeanRequests: 10},
+		{Kind: "sessions", SessionRate: 1, MeanRequests: 0.5},
+		{Kind: "sessions", SessionRate: 1, MeanRequests: 2, Gap: &stats.DistSpec{Kind: "nope"}},
+		{Kind: "superpose"},
+		{Kind: "superpose", Parts: []ArrivalSpec{{Kind: "poisson"}}},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %+v validated", spec)
+		}
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("spec %+v built", spec)
+		}
+	}
+}
+
+func TestArrivalSpecJSONRoundTrip(t *testing.T) {
+	spec := ArrivalSpec{Kind: "superpose", Parts: []ArrivalSpec{
+		{Kind: "nhpp", Rates: []float64{1, 2, 3}, BinSec: 900, Cycle: true},
+		{Kind: "sessions", SessionRate: 3, MeanRequests: 8, Gap: &stats.DistSpec{Kind: "exponential", Rate: 2}},
+	}}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ArrivalSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip %+v -> %+v", spec, back)
+	}
+}
