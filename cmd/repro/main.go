@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-quick] [-parallel N] [-o DIR] [-list] [id ...]
+//	repro [-seed N] [-quick] [-parallel N] [-cache DIR] [-o DIR] [-list] [id ...]
 //
 // With no ids, every experiment runs in paper order. Use -list to see the
-// available ids, -parallel to run independent experiments concurrently,
-// and -o to also write each artifact as a markdown file.
+// available ids and -o to also write each artifact as a markdown file.
+//
+// All experiments share one simulation concurrency budget: -parallel sizes
+// a single worker pool (0 = GOMAXPROCS) that every simulation unit — sweep
+// point, replication, ablation run — draws from, so nothing oversubscribes
+// no matter how many experiments are in flight. Completed simulation points
+// are memoized in a content-addressed cache under -cache (keyed by the
+// resolved scenario, the replication config and the engine version); a
+// rerun with the same seed reads them back instead of simulating. The pool
+// and per-experiment cache counters land in the run manifest.
 package main
 
 import (
@@ -16,7 +24,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -24,7 +31,9 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/profiling"
+	"repro/internal/sweep"
 )
 
 // outcome carries one experiment's results back to the printing loop.
@@ -39,11 +48,12 @@ func main() {
 	seed := flag.Uint64("seed", 42, "root random seed for all simulations")
 	quick := flag.Bool("quick", false, "shrink horizons and sweeps (~8x faster, noisier)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	parallel := flag.Int("parallel", 1, "run up to N experiments concurrently (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "simulation concurrency budget shared by all experiments (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "artifacts/cache", "content-addressed result cache directory; empty disables caching")
 	outDir := flag.String("o", "", "also write each artifact as markdown into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	manifest := flag.String("manifest", "repro_manifest.json", "write a run manifest (config, seed, git rev, timings, per-experiment wall times) to this file; empty disables")
+	manifest := flag.String("manifest", "repro_manifest.json", "write a run manifest (config, seed, git rev, timings, per-experiment wall times, cache and pool counters) to this file; empty disables")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -61,6 +71,23 @@ func main() {
 	}
 
 	man := obs.NewManifest("repro", *seed)
+
+	p, err := pool.New(*parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: -parallel: %v\n", err)
+		os.Exit(2)
+	}
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		cache, err = sweep.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: -cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	reg := obs.NewRegistry()
+	p.Observe(reg)
+	engine := sweep.NewEngine(p, cache, reg)
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	ids := flag.Args()
@@ -85,42 +112,29 @@ func main() {
 		}
 	}
 
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(todo) {
-		workers = len(todo)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	// Run experiments on a worker pool; print results in submission order
-	// as they become available so output stays deterministic.
+	// Every experiment launches immediately: experiments are orchestrators
+	// and hold no pool slots themselves, so in-flight parallelism is
+	// bounded where it matters — at the simulation units, by the one shared
+	// pool. Results print in submission order, so output stays
+	// deterministic regardless of completion order.
 	results := make([]outcome, len(todo))
-	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				start := time.Now()
-				tables, err := todo[idx].Run(cfg)
-				results[idx] = outcome{
-					exp:     todo[idx],
-					tables:  tables,
-					elapsed: time.Since(start),
-					err:     err,
-				}
-			}
-		}()
-	}
 	for i := range todo {
-		jobs <- i
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			start := time.Now()
+			ecfg := cfg
+			ecfg.Engine = engine.Scoped(todo[idx].ID)
+			tables, err := todo[idx].Run(ecfg)
+			results[idx] = outcome{
+				exp:     todo[idx],
+				tables:  tables,
+				elapsed: time.Since(start),
+				err:     err,
+			}
+		}(i)
 	}
-	close(jobs)
 	wg.Wait()
 
 	failed := false
@@ -154,10 +168,10 @@ func main() {
 		}
 		man.Config = map[string]any{
 			"quick":       *quick,
-			"parallel":    workers,
+			"parallel":    p.Size(),
+			"cache_dir":   *cacheDir,
 			"experiments": ids,
 		}
-		reg := obs.NewRegistry()
 		ran := reg.Counter("repro/experiments_run")
 		failures := reg.Counter("repro/experiments_failed")
 		for _, res := range results {

@@ -59,9 +59,9 @@ func main() {
 
 	args := []string{
 		"test", "-run", "^$",
-		"-bench", "BenchmarkStationHighOccupancy|BenchmarkDesimSchedule",
+		"-bench", "BenchmarkStationHighOccupancy|BenchmarkDesimSchedule|BenchmarkSweep",
 		"-benchmem", "-benchtime", *benchtime,
-		"./internal/cluster", "./internal/desim",
+		"./internal/cluster", "./internal/desim", "./internal/sweep",
 	}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

@@ -12,10 +12,17 @@
 //	simulate -scenario examples/scenarios/casestudy.json
 //	simulate -preset fig9-db-closed
 //	simulate -dump-scenario | simulate -scenario -             (identical run)
+//	simulate -sweep examples/scenarios/sweep-hosts.json        (parameter grid)
 //
 // Every run resolves to one scenario.Scenario — dump it with
 // -dump-scenario, feed it back with -scenario, find it embedded in the run
 // manifest.
+//
+// -sweep runs a whole parameter grid instead of one scenario: the spec
+// names a base scenario plus axes (parameter path → value list), each grid
+// point gets a seed derived from (base seed, point index), all points share
+// one -workers-sized pool, and completed points are memoized in the -cache
+// directory so a rerun is free.
 package main
 
 import (
@@ -31,8 +38,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -58,6 +67,8 @@ func main() {
 	precision := flag.Float64("precision", 0, "stop replicating once the 95% CI of pooled loss is relatively this tight (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replication study (0 = none)")
 	scenarioFile := flag.String("scenario", "", `run a scenario JSON file ("-" = stdin) instead of the flag-built case study`)
+	sweepFile := flag.String("sweep", "", `run a sweep spec JSON file ("-" = stdin): a base scenario plus parameter axes`)
+	cacheDir := flag.String("cache", "artifacts/cache", "content-addressed sweep result cache directory; empty disables caching")
 	preset := flag.String("preset", "", "run a registered scenario preset: "+strings.Join(scenario.Names(), ", "))
 	dumpScenario := flag.Bool("dump-scenario", false, "print the resolved scenario as JSON and exit without running")
 	quick := flag.Bool("quick", false, "CI smoke mode: shrink the horizon 8x and cap replications at 2")
@@ -73,10 +84,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *workers < 0 {
+		die("-workers must be >= 0 (0 selects GOMAXPROCS), got %d", *workers)
+	}
+
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := checkFlagConflicts(explicit, *mode, *mtbf, *mttr, *reps, *scenarioFile, *preset); err != nil {
+	if err := checkFlagConflicts(explicit, *mode, *mtbf, *mttr, *reps, *scenarioFile, *preset, *sweepFile); err != nil {
 		die("%v", err)
+	}
+
+	if *sweepFile != "" {
+		runSweep(*sweepFile, *workers, *cacheDir, *quick, *manifest, die)
+		return
 	}
 
 	var s scenario.Scenario
@@ -225,7 +245,23 @@ var shapingFlags = []string{
 
 // checkFlagConflicts rejects contradictory combinations up front, before
 // any defaulting can paper over them.
-func checkFlagConflicts(explicit map[string]bool, mode string, mtbf, mttr float64, reps int, scenarioFile, preset string) error {
+func checkFlagConflicts(explicit map[string]bool, mode string, mtbf, mttr float64, reps int, scenarioFile, preset, sweepFile string) error {
+	if sweepFile != "" {
+		for _, name := range []string{"scenario", "preset", "dump-scenario"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s conflicts with -sweep: a sweep spec is not a single scenario", name)
+			}
+		}
+		for _, name := range shapingFlags {
+			if name == "workers" {
+				continue // -workers sizes the shared pool; it never shapes results
+			}
+			if explicit[name] {
+				return fmt.Errorf("-%s conflicts with -sweep: the spec's base scenario carries the full description (edit the JSON instead)", name)
+			}
+		}
+		return nil
+	}
 	if scenarioFile != "" && preset != "" {
 		return errors.New("-scenario and -preset are mutually exclusive")
 	}
@@ -338,6 +374,89 @@ func flagScenario(v flagValues) (scenario.Scenario, error) {
 		}
 	}
 	return s, nil
+}
+
+// runSweep executes a sweep spec: expand the grid, run every point on one
+// shared pool with the content-addressed cache, print a per-point summary
+// table and write the manifest.
+func runSweep(path string, workers int, cacheDir string, quick bool, manifestPath string, die func(string, ...any)) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			die("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sp, err := sweep.ParseSpec(r)
+	if err != nil {
+		die("%v", err)
+	}
+	if quick {
+		quicken(&sp.Base)
+	}
+	pts, err := sp.Expand()
+	if err != nil {
+		die("%v", err)
+	}
+
+	p, err := pool.New(workers)
+	if err != nil {
+		die("-workers: %v", err)
+	}
+	var cache *sweep.Cache
+	if cacheDir != "" {
+		cache, err = sweep.OpenCache(cacheDir)
+		if err != nil {
+			die("-cache: %v", err)
+		}
+	}
+	reg := obs.NewRegistry()
+	p.Observe(reg)
+	eng := sweep.NewEngine(p, cache, reg)
+
+	man := obs.NewManifest("simulate", sp.Base.Seed)
+	man.Config = sp
+
+	name := sp.Name
+	if name == "" {
+		name = path
+	}
+	fmt.Printf("sweep %s: %d points across %d axes, pool of %d\n\n", name, len(pts), len(sp.Axes), p.Size())
+
+	start := time.Now()
+	results, err := eng.RunPoints(context.Background(), pts)
+	if err != nil {
+		die("%v", err)
+	}
+
+	labelW := 0
+	for _, pr := range results {
+		if len(pr.Label) > labelW {
+			labelW = len(pr.Label)
+		}
+	}
+	hits := 0
+	for _, pr := range results {
+		mark := ""
+		if pr.CacheHit {
+			mark = "  (cached)"
+			hits++
+		}
+		fmt.Printf("[%3d] %-*s  loss=%.4f  thpt=%.1f  util=%.3f  reps=%d%s\n",
+			pr.Index, labelW, pr.Label,
+			float64(pr.OverallLoss.Point), float64(pr.TotalThroughput.Point),
+			float64(pr.BottleneckUtil.Point), pr.Replications, mark)
+	}
+	fmt.Printf("\n%d/%d points from cache, %.1fs\n", hits, len(results), time.Since(start).Seconds())
+
+	if manifestPath != "" {
+		if err := man.Finish(reg.Snapshot()).WriteFile(manifestPath); err != nil {
+			die("writing manifest: %v", err)
+		}
+		fmt.Printf("run manifest written to %s\n", manifestPath)
+	}
 }
 
 // loadScenario reads one scenario from a file or stdin ("-").

@@ -55,6 +55,7 @@ func TestCheckFlagConflicts(t *testing.T) {
 		reps     int
 		file     string
 		preset   string
+		sweep    string
 		wantErr  bool
 	}
 	cases := []call{
@@ -74,13 +75,19 @@ func TestCheckFlagConflicts(t *testing.T) {
 		{name: "scenario plus manifest", explicit: []string{"manifest"}, mode: "consolidated", reps: 1, file: "x.json"},
 		{name: "preset plus horizon", explicit: []string{"horizon"}, mode: "consolidated", reps: 1, preset: "casestudy-4+4", wantErr: true},
 		{name: "scenario plus preset", mode: "consolidated", reps: 1, file: "x.json", preset: "casestudy-4+4", wantErr: true},
+		{name: "sweep plain", mode: "consolidated", reps: 1, sweep: "grid.json"},
+		{name: "sweep plus workers", explicit: []string{"workers"}, mode: "consolidated", reps: 1, sweep: "grid.json"},
+		{name: "sweep plus seed", explicit: []string{"seed"}, mode: "consolidated", reps: 1, sweep: "grid.json", wantErr: true},
+		{name: "sweep plus scenario", explicit: []string{"scenario"}, mode: "consolidated", reps: 1, file: "x.json", sweep: "grid.json", wantErr: true},
+		{name: "sweep plus preset", explicit: []string{"preset"}, mode: "consolidated", reps: 1, preset: "casestudy-4+4", sweep: "grid.json", wantErr: true},
+		{name: "sweep plus dump", explicit: []string{"dump-scenario"}, mode: "consolidated", reps: 1, sweep: "grid.json", wantErr: true},
 	}
 	for _, c := range cases {
 		explicit := map[string]bool{}
 		for _, f := range c.explicit {
 			explicit[f] = true
 		}
-		err := checkFlagConflicts(explicit, c.mode, c.mtbf, c.mttr, c.reps, c.file, c.preset)
+		err := checkFlagConflicts(explicit, c.mode, c.mtbf, c.mttr, c.reps, c.file, c.preset, c.sweep)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
 		}

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/diurnal"
 	"repro/internal/erlang"
 	"repro/internal/queueing"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -74,28 +77,44 @@ func Diurnal(cfg Config) (*DiurnalResult, error) {
 	if cfg.Quick {
 		binSec /= 8
 	}
+	res.Rows = make([]DiurnalRow, len(strategies))
 	for i, s := range strategies {
 		n, modelB, err := sizeFor(s.rho)
 		if err != nil {
 			return nil, err
 		}
-		sim, err := queueing.Simulate(queueing.Config{
-			Servers:  n,
-			Arrivals: workload.FromTrace(day.Values, binSec, true),
-			Service:  stats.NewExponential(mu),
-			Horizon:  binSec * float64(len(day.Values)),
-			Warmup:   0, // the cycle has no transient: start at the trough-adjacent bin
-			Seed:     cfg.Seed + uint64(i),
-		})
+		res.Rows[i] = DiurnalRow{Strategy: s.name, Servers: n, ModelB: modelB}
+	}
+	// The three day-long sims share the pool and memoize on the synthetic
+	// day's parameters (which, with cfg.Seed, pin the trace bit-exactly).
+	e := cfg.engine().Scoped("ablation-diurnal")
+	err = e.Go(context.Background(), len(res.Rows), func(ctx context.Context, i int) error {
+		seed := cfg.Seed + uint64(i)
+		loss, err := sweep.Cached(ctx, e,
+			cacheKey("ablation-diurnal/day", "web-day", 1.0, 5.0, 14, 0.05, day.BinSec,
+				cfg.Seed, binSec, res.Rows[i].Servers, seed),
+			func(context.Context) (float64, error) {
+				sim, err := queueing.Simulate(queueing.Config{
+					Servers:  res.Rows[i].Servers,
+					Arrivals: workload.FromTrace(day.Values, binSec, true),
+					Service:  stats.NewExponential(mu),
+					Horizon:  binSec * float64(len(day.Values)),
+					Warmup:   0, // the cycle has no transient: start at the trough-adjacent bin
+					Seed:     seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return sim.LossProb, nil
+			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, DiurnalRow{
-			Strategy: s.name,
-			Servers:  n,
-			SimLoss:  sim.LossProb,
-			ModelB:   modelB,
-		})
+		res.Rows[i].SimLoss = loss
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

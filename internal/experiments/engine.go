@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/pool"
+	"repro/internal/sweep"
+)
+
+// defaultEngine backs experiments run without an injected engine (library
+// callers, tests): a GOMAXPROCS-bounded pool, no cache, private metrics.
+var defaultEngine = sync.OnceValue(func() *sweep.Engine {
+	p, err := pool.New(0)
+	if err != nil {
+		panic(err) // pool.New(0) cannot fail
+	}
+	return sweep.NewEngine(p, nil, nil)
+})
+
+func (c Config) engine() *sweep.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return defaultEngine()
+}
+
+// runPoints executes an experiment's declarative point list through the
+// shared sweep engine, scoping its progress and cache counters under the
+// experiment ID. Results come back in point order.
+func (c Config) runPoints(id string, pts []sweep.Point) ([]sweep.PointResult, error) {
+	for i := range pts {
+		pts[i].Index = i
+	}
+	return c.engine().Scoped(id).RunPoints(context.Background(), pts)
+}
+
+// cacheKey renders arbitrary experiment parameters into a content address
+// for sweep.Cached. Every input that shapes the result — rates, sizes,
+// horizons and seeds — must appear among the parts.
+func cacheKey(parts ...any) string {
+	ss := make([]string, len(parts))
+	for i, p := range parts {
+		ss[i] = fmt.Sprint(p)
+	}
+	return sweep.Key(ss...)
+}

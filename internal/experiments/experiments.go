@@ -13,6 +13,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/sweep"
 )
 
 // Config controls experiment execution.
@@ -25,6 +27,13 @@ type Config struct {
 	// magnitude, for tests and fast benchmarking. Shapes survive; noise
 	// grows.
 	Quick bool
+
+	// Engine, when non-nil, executes every simulation: its pool is the one
+	// concurrency budget all experiments share, and its cache memoizes
+	// completed points across runs. Nil falls back to a process-wide
+	// default engine (GOMAXPROCS-bounded, no cache). The engine never
+	// changes results — seeds do.
+	Engine *sweep.Engine
 }
 
 // scale returns v shrunk under Quick mode.

@@ -6,14 +6,15 @@ package experiments
 // variability, arrival burstiness, and the resource-flowing granularity).
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/erlang"
 	"repro/internal/queueing"
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -42,7 +43,9 @@ type HeteroResult struct {
 // (reference), all-Intel (0.83× capability), and a mixed fleet with two
 // AMD machines — packs them with core.PackServers, predicts the loss with
 // the interpolated Erlang approximation, and validates each packing in the
-// cluster simulator at the saturation workloads.
+// cluster simulator at the saturation workloads. The validation runs are a
+// declarative point list on the sweep engine: the packing/model loop stays
+// serial (it is pure arithmetic), the six simulations run concurrently.
 func Hetero(cfg Config) (*HeteroResult, error) {
 	m, err := CaseStudyModel(4, 4)
 	if err != nil {
@@ -75,6 +78,7 @@ func Hetero(cfg Config) (*HeteroResult, error) {
 	horizon := cfg.scale(120)
 	warmup := horizon / 6
 
+	var pts []sweep.Point
 	for _, fleet := range fleets {
 		for _, objective := range []core.PackObjective{core.MinMachines, core.MinPower} {
 			plan, err := core.PackServers(res.Consolidated.Servers,
@@ -107,14 +111,10 @@ func Hetero(cfg Config) (*HeteroResult, error) {
 			s.Horizon = horizon
 			s.Warmup = &warmup
 			s.Seed = cfg.Seed + uint64(len(out.Rows))
-			compiled, err := s.Compile()
-			if err != nil {
-				return nil, err
-			}
-			sim, err := cluster.Run(compiled.Cluster)
-			if err != nil {
-				return nil, err
-			}
+			pts = append(pts, sweep.Point{
+				Label:    fmt.Sprintf("%s/%s", fleet.name, objective),
+				Scenario: s,
+			})
 			out.Rows = append(out.Rows, HeteroRow{
 				Fleet:      fleet.name,
 				Objective:  objective,
@@ -122,10 +122,16 @@ func Hetero(cfg Config) (*HeteroResult, error) {
 				Units:      plan.CapabilityUnits,
 				IdlePowerW: plan.IdlePower,
 				ModelLoss:  modelLoss,
-				SimDBLoss:  sim.Services[1].LossProb,
-				SimWebLoss: sim.Services[0].LossProb,
 			})
 		}
+	}
+	sims, err := cfg.runPoints("hetero", pts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out.Rows {
+		out.Rows[i].SimDBLoss = float64(sims[i].Services[1].Loss.Point)
+		out.Rows[i].SimWebLoss = float64(sims[i].Services[0].Loss.Point)
 	}
 	return out, nil
 }
@@ -253,41 +259,58 @@ type SCVAblationRow struct {
 
 // SCVAblation probes the Erlang insensitivity the model's assumption 2
 // leans on: M/G/n/n loss across service-time SCVs from deterministic to
-// extremely bursty.
+// extremely bursty. The five sims run concurrently on the shared pool,
+// memoized per (scv, horizon, seed).
 func SCVAblation(cfg Config) ([]SCVAblationRow, error) {
 	const n, rho = 4, 2.5
 	want := erlang.MustB(n, rho)
 	horizon := cfg.scale(8000)
-	var rows []SCVAblationRow
-	for i, scv := range []float64{0, 0.25, 1, 4, 16} {
-		var svc stats.Distribution
-		switch {
-		case scv == 0:
-			svc = stats.Deterministic{Value: 1}
-		case scv < 1:
-			svc = stats.ErlangKWithMean(1, int(1/scv+0.5))
-		case scv == 1:
-			svc = stats.NewExponential(1)
-		default:
-			svc = stats.HyperExpWithSCV(1, scv)
-		}
-		sim, err := queueing.Simulate(queueing.Config{
-			Servers:  n,
-			Arrivals: workload.NewPoisson(rho),
-			Service:  svc,
-			Horizon:  horizon,
-			Warmup:   horizon / 10,
-			Seed:     cfg.Seed + uint64(i),
-		})
+	scvs := []float64{0, 0.25, 1, 4, 16}
+	rows := make([]SCVAblationRow, len(scvs))
+	e := cfg.engine().Scoped("ablation-scv")
+	err := e.Go(context.Background(), len(scvs), func(ctx context.Context, i int) error {
+		scv := scvs[i]
+		seed := cfg.Seed + uint64(i)
+		loss, err := sweep.Cached(ctx, e,
+			cacheKey("ablation-scv/mgnn", n, rho, scv, horizon, seed),
+			func(context.Context) (float64, error) {
+				var svc stats.Distribution
+				switch {
+				case scv == 0:
+					svc = stats.Deterministic{Value: 1}
+				case scv < 1:
+					svc = stats.ErlangKWithMean(1, int(1/scv+0.5))
+				case scv == 1:
+					svc = stats.NewExponential(1)
+				default:
+					svc = stats.HyperExpWithSCV(1, scv)
+				}
+				sim, err := queueing.Simulate(queueing.Config{
+					Servers:  n,
+					Arrivals: workload.NewPoisson(rho),
+					Service:  svc,
+					Horizon:  horizon,
+					Warmup:   horizon / 10,
+					Seed:     seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return sim.LossProb, nil
+			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, SCVAblationRow{
+		rows[i] = SCVAblationRow{
 			SCV:     scv,
-			SimLoss: sim.LossProb,
+			SimLoss: loss,
 			ErlangB: want,
-			AbsErr:  abs(sim.LossProb - want),
-		})
+			AbsErr:  abs(loss - want),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -321,49 +344,66 @@ type BurstAblationRow struct {
 
 // BurstAblation quantifies the model's exposure to its Poisson assumption:
 // MMPP arrivals with growing burstiness at a fixed mean rate, against the
-// Erlang B value the model would predict.
+// Erlang B value the model would predict. Concurrent and memoized like the
+// SCV ablation.
 func BurstAblation(cfg Config) ([]BurstAblationRow, error) {
 	const n = 4
 	meanRate := 2.5
 	want := erlang.MustB(n, meanRate)
 	horizon := cfg.scale(8000)
-	var rows []BurstAblationRow
-	for i, burst := range []float64{1, 2, 4, 8} {
-		var arr workload.ArrivalProcess
-		if burst == 1 {
-			arr = workload.NewPoisson(meanRate)
-		} else {
-			// Two phases with rate ratio burst², holding times chosen so
-			// the stationary mean stays meanRate and the hot phase carries
-			// `burst` times the mean.
-			hot := meanRate * burst
-			cold := meanRate * (2 - burst)
-			if cold < 0.05*meanRate {
-				cold = 0.05 * meanRate
-			}
-			// Solve holding weights for the exact mean.
-			// mean = (hot*h1 + cold*h2)/(h1+h2) with h2 = 1:
-			// h1 = (mean - cold) / (hot - mean).
-			h1 := (meanRate - cold) / (hot - meanRate)
-			arr = workload.NewMMPP2(hot, cold, h1*2, 2)
-		}
-		sim, err := queueing.Simulate(queueing.Config{
-			Servers:  n,
-			Arrivals: arr,
-			Service:  stats.NewExponential(1),
-			Horizon:  horizon,
-			Warmup:   horizon / 10,
-			Seed:     cfg.Seed + 100 + uint64(i),
-		})
+	bursts := []float64{1, 2, 4, 8}
+	rows := make([]BurstAblationRow, len(bursts))
+	e := cfg.engine().Scoped("ablation-burst")
+	err := e.Go(context.Background(), len(bursts), func(ctx context.Context, i int) error {
+		burst := bursts[i]
+		seed := cfg.Seed + 100 + uint64(i)
+		loss, err := sweep.Cached(ctx, e,
+			cacheKey("ablation-burst/mmpp", n, meanRate, burst, horizon, seed),
+			func(context.Context) (float64, error) {
+				var arr workload.ArrivalProcess
+				if burst == 1 {
+					arr = workload.NewPoisson(meanRate)
+				} else {
+					// Two phases with rate ratio burst², holding times chosen so
+					// the stationary mean stays meanRate and the hot phase carries
+					// `burst` times the mean.
+					hot := meanRate * burst
+					cold := meanRate * (2 - burst)
+					if cold < 0.05*meanRate {
+						cold = 0.05 * meanRate
+					}
+					// Solve holding weights for the exact mean.
+					// mean = (hot*h1 + cold*h2)/(h1+h2) with h2 = 1:
+					// h1 = (mean - cold) / (hot - mean).
+					h1 := (meanRate - cold) / (hot - meanRate)
+					arr = workload.NewMMPP2(hot, cold, h1*2, 2)
+				}
+				sim, err := queueing.Simulate(queueing.Config{
+					Servers:  n,
+					Arrivals: arr,
+					Service:  stats.NewExponential(1),
+					Horizon:  horizon,
+					Warmup:   horizon / 10,
+					Seed:     seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return sim.LossProb, nil
+			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, BurstAblationRow{
+		rows[i] = BurstAblationRow{
 			Burstiness: burst,
-			SimLoss:    sim.LossProb,
+			SimLoss:    loss,
 			ErlangB:    want,
-			Ratio:      sim.LossProb / want,
-		})
+			Ratio:      loss / want,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -398,7 +438,8 @@ type AllocAblationRow struct {
 
 // AllocAblation sweeps the Rainbow reallocation period and cost on the
 // group-1 consolidated pool: how fine-grained must resource flowing be for
-// the model's assumption 4 ("servers serve on demand") to hold?
+// the model's assumption 4 ("servers serve on demand") to hold? One
+// declarative point per policy.
 func AllocAblation(cfg Config) ([]AllocAblationRow, error) {
 	horizon := cfg.scale(120)
 	warmup := horizon / 6
@@ -417,41 +458,44 @@ func AllocAblation(cfg Config) ([]AllocAblationRow, error) {
 		{"proportional T=1s cost=10%", proportional(1, 0.10)},
 		{"static", &scenario.Alloc{Policy: "static"}},
 	}
-	var rows []AllocAblationRow
+	pts := make([]sweep.Point, len(policies))
 	for i, p := range policies {
-		s := scenario.Scenario{
-			Mode: "consolidated",
-			Services: []scenario.Service{
-				scenario.WebSpec(lambdaW, 0),
-				scenario.DBSpec(lambdaD, 0),
+		pts[i] = sweep.Point{
+			Label: p.name,
+			Scenario: scenario.Scenario{
+				Mode: "consolidated",
+				Services: []scenario.Service{
+					scenario.WebSpec(lambdaW, 0),
+					scenario.DBSpec(lambdaD, 0),
+				},
+				Fleet:   scenario.Fleet{Hosts: 3},
+				Alloc:   p.alloc,
+				Horizon: horizon,
+				Warmup:  &warmup,
+				Seed:    cfg.Seed + uint64(i),
 			},
-			Fleet:   scenario.Fleet{Hosts: 3},
-			Alloc:   p.alloc,
-			Horizon: horizon,
-			Warmup:  &warmup,
-			Seed:    cfg.Seed + uint64(i),
 		}
-		c, err := s.Compile()
-		if err != nil {
-			return nil, err
-		}
-		res, err := cluster.Run(c.Cluster)
-		if err != nil {
-			return nil, err
-		}
-		served := float64(res.Services[0].Served + res.Services[1].Served)
-		arrived := float64(res.Services[0].Arrivals + res.Services[1].Arrivals)
+	}
+	out, err := cfg.runPoints("ablation-alloc", pts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AllocAblationRow, len(policies))
+	for i, p := range policies {
+		pr := out[i]
+		served := pr.Services[0].Served + pr.Services[1].Served
+		arrived := pr.Services[0].Arrivals + pr.Services[1].Arrivals
 		goodput := 0.0
 		if arrived > 0 {
 			goodput = served / arrived
 		}
-		rows = append(rows, AllocAblationRow{
+		rows[i] = AllocAblationRow{
 			Policy:    p.name,
 			Goodput:   goodput,
-			WebLoss:   res.Services[0].LossProb,
-			DBLoss:    res.Services[1].LossProb,
-			WebRespMS: res.Services[0].ResponseTimes.Mean() * 1000,
-		})
+			WebLoss:   float64(pr.Services[0].Loss.Point),
+			DBLoss:    float64(pr.Services[1].Loss.Point),
+			WebRespMS: float64(pr.Services[0].RespMean.Point) * 1000,
+		}
 	}
 	return rows, nil
 }

@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/power"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -31,10 +30,10 @@ type Fig9Result struct {
 
 // Fig9 sweeps both services on dedicated 4-server pools to locate the
 // intensive workloads: the knees where more load stops helping (DB WIPS
-// saturates at the pool limit; Web response time turns upward). Each sweep
-// point averages parallel independent replications through the replication
-// engine — the knees are read off noisy curves, so the variance reduction
-// matters here.
+// saturates at the pool limit; Web response time turns upward). Both
+// sweeps run as one point list through the shared engine; each point
+// averages two replications — the knees are read off noisy curves, so the
+// variance reduction matters here.
 func Fig9(cfg Config) (*Fig9Result, error) {
 	// Closed-loop emulated browsers think for 7 s between interactions, so
 	// the horizon must dominate the think time even in Quick mode.
@@ -42,41 +41,45 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	warmup := horizon / 4
 	res := &Fig9Result{WIPSLimit: 4 * workload.DBCPURate}
 
-	runPoint := func(svc scenario.Service, seed uint64) (*cluster.ReplicationSet, error) {
-		s := scenario.Scenario{
-			Mode:        "dedicated",
-			Services:    []scenario.Service{svc},
-			Horizon:     horizon,
-			Warmup:      &warmup,
-			Seed:        seed,
-			Replication: &scenario.Replication{Reps: 2},
+	point := func(label string, svc scenario.Service, seed uint64) sweep.Point {
+		return sweep.Point{
+			Label: label,
+			Scenario: scenario.Scenario{
+				Mode:        "dedicated",
+				Services:    []scenario.Service{svc},
+				Horizon:     horizon,
+				Warmup:      &warmup,
+				Seed:        seed,
+				Replication: &scenario.Replication{Reps: 2},
+			},
 		}
-		c, err := s.Compile()
-		if err != nil {
-			return nil, err
-		}
-		return cluster.Replications(context.Background(), c.Cluster, c.Replication)
 	}
 
-	for _, eb := range sweepLoads(cfg, 500, 5000, 500) {
-		set, err := runPoint(scenario.DBClosedSpec(int(eb), 4), cfg.Seed+uint64(eb))
-		if err != nil {
-			return nil, err
-		}
-		res.EBs = append(res.EBs, eb)
-		res.WIPS = append(res.WIPS, set.TotalThroughput.Point)
+	ebs := sweepLoads(cfg, 500, 5000, 500)
+	sessions := sweepLoads(cfg, 400, 3200, 400)
+	var pts []sweep.Point
+	for _, eb := range ebs {
+		pts = append(pts, point(fmt.Sprintf("db ebs=%g", eb),
+			scenario.DBClosedSpec(int(eb), 4), cfg.Seed+uint64(eb)))
 	}
-
-	for _, sessions := range sweepLoads(cfg, 400, 3200, 400) {
+	for _, n := range sessions {
 		// Drive the Web pool with real SPECweb-style sessions: trains of
 		// ~10 requests separated by half-second think gaps, at a session
 		// arrival rate that offers sessions*SessionRate requests/s overall.
-		set, err := runPoint(scenario.WebSessionsSpec(sessions, 4), cfg.Seed+uint64(sessions)*3)
-		if err != nil {
-			return nil, err
-		}
-		res.Sessions = append(res.Sessions, sessions)
-		res.RespTime = append(res.RespTime, set.Services[0].RespMean.Point)
+		pts = append(pts, point(fmt.Sprintf("web sessions=%g", n),
+			scenario.WebSessionsSpec(n, 4), cfg.Seed+uint64(n)*3))
+	}
+	out, err := cfg.runPoints("fig9", pts)
+	if err != nil {
+		return nil, err
+	}
+	for i, eb := range ebs {
+		res.EBs = append(res.EBs, eb)
+		res.WIPS = append(res.WIPS, float64(out[i].TotalThroughput.Point))
+	}
+	for i, n := range sessions {
+		res.Sessions = append(res.Sessions, n)
+		res.RespTime = append(res.RespTime, float64(out[len(ebs)+i].Services[0].RespMean.Point))
 	}
 
 	// The selection rule: the knee sits at SaturationIntensity of pool
@@ -131,7 +134,7 @@ type DeploymentRow struct {
 	CPUUtil    float64 // mean CPU utilization across hosts
 	DiskUtil   float64
 	Bottleneck float64
-	Result     *cluster.Result
+	Point      *sweep.PointResult
 }
 
 // GroupResult carries one case-study group comparison.
@@ -145,52 +148,49 @@ type GroupResult struct {
 
 // runGroup simulates the dedicated deployment (webServers+dbServers) and
 // each consolidated size in consSizes, at the group's saturation
-// workloads.
+// workloads — one declarative point list over the CaseStudy preset.
 func runGroup(cfg Config, id string, webServers, dbServers int, consSizes []int) (*GroupResult, error) {
 	horizon := cfg.scale(120)
 	warmup := horizon / 6
 
-	runOne := func(mode string, consolidated int, seed uint64) (*cluster.Result, error) {
+	point := func(label, mode string, consolidated int, seed uint64) sweep.Point {
 		s := scenario.CaseStudy(webServers, dbServers, mode, consolidated)
 		s.Horizon = horizon
 		s.Warmup = &warmup
 		s.Seed = seed
-		c, err := s.Compile()
-		if err != nil {
-			return nil, err
-		}
-		return cluster.Run(c.Cluster)
+		return sweep.Point{Label: label, Scenario: s}
 	}
 
-	res := &GroupResult{ID: id}
-	mkRow := func(label string, servers int, out *cluster.Result) DeploymentRow {
-		return DeploymentRow{
-			Label:      label,
-			Servers:    servers,
-			DBWips:     out.Services[1].Throughput,
-			WebResp:    out.Services[0].ResponseTimes.Mean(),
-			DBLoss:     out.Services[1].LossProb,
-			WebLoss:    out.Services[0].LossProb,
-			CPUUtil:    out.MeanUtilization(workload.CPU),
-			DiskUtil:   out.MeanUtilization(workload.DiskIO),
-			Bottleneck: out.MeanBottleneckUtilization(),
-			Result:     out,
-		}
+	dedLabel := fmt.Sprintf("%d dedicated", webServers+dbServers)
+	pts := []sweep.Point{point(dedLabel, "dedicated", 0, cfg.Seed+1)}
+	labels := []string{dedLabel}
+	servers := []int{webServers + dbServers}
+	for i, n := range consSizes {
+		label := fmt.Sprintf("%d consolidated", n)
+		pts = append(pts, point(label, "consolidated", n, cfg.Seed+10+uint64(i)))
+		labels = append(labels, label)
+		servers = append(servers, n)
 	}
-
-	ded, err := runOne("dedicated", 0, cfg.Seed+1)
+	out, err := cfg.runPoints(id, pts)
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = append(res.Rows, mkRow(
-		fmt.Sprintf("%d dedicated", webServers+dbServers), webServers+dbServers, ded))
 
-	for i, n := range consSizes {
-		out, err := runOne("consolidated", n, cfg.Seed+10+uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, mkRow(fmt.Sprintf("%d consolidated", n), n, out))
+	res := &GroupResult{ID: id}
+	for i := range out {
+		pr := &out[i]
+		res.Rows = append(res.Rows, DeploymentRow{
+			Label:      labels[i],
+			Servers:    servers[i],
+			DBWips:     float64(pr.Services[1].Throughput.Point),
+			WebResp:    float64(pr.Services[0].RespMean.Point),
+			DBLoss:     float64(pr.Services[1].Loss.Point),
+			WebLoss:    float64(pr.Services[0].Loss.Point),
+			CPUUtil:    float64(pr.Utilization[workload.CPU]),
+			DiskUtil:   float64(pr.Utilization[workload.DiskIO]),
+			Bottleneck: float64(pr.BottleneckUtil.Point),
+			Point:      pr,
+		})
 	}
 
 	// Headline CPU improvement: last consolidated row vs dedicated.
@@ -266,18 +266,23 @@ type PowerResult struct {
 
 // Fig12 measures total power of the group-2 deployments — 8 dedicated
 // Linux servers vs 4 consolidated Xen servers — busy and idle, through the
-// simulated electric parameter tester.
+// simulated electric parameter tester. The energies come straight off the
+// sweep points: each point's compiled power model is the testbed server on
+// the platform its mode implies (native Linux dedicated, Xen Rainbow
+// consolidated).
 func Fig12(cfg Config) (*PowerResult, error) {
 	group, err := Fig11(cfg)
 	if err != nil {
 		return nil, err
 	}
-	ded := group.Rows[0].Result
-	cons := group.Rows[len(group.Rows)-1].Result
+	ded := group.Rows[0].Point
+	cons := group.Rows[len(group.Rows)-1].Point
 
 	res := &PowerResult{Window: ded.Window}
-	res.DedicatedBusy, res.DedicatedIdle = ded.Energy(power.DefaultServer, power.NativeLinux)
-	res.ConsolidatedBusy, res.ConsolidatedIdle = cons.Energy(power.DefaultServer, power.XenRainbow)
+	res.DedicatedBusy = float64(ded.EnergyBusyJ)
+	res.DedicatedIdle = float64(ded.EnergyIdleJ)
+	res.ConsolidatedBusy = float64(cons.EnergyBusyJ)
+	res.ConsolidatedIdle = float64(cons.EnergyIdleJ)
 
 	cmp := power.Comparison{
 		DedicatedTotal:    res.DedicatedBusy,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/queueing"
 	"repro/internal/replicate"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -141,7 +142,8 @@ type AppAResult struct {
 // against the bound. The "allocators" are Erlang-style loss systems:
 // dedicated = per-service partitions of the pool; consolidated = the full
 // pool shared (ideal flowing); an intermediate static split models a
-// consolidation without flowing.
+// consolidation without flowing. The five loss simulations fan out through
+// the shared pool and memoize per operating point.
 func AppA(cfg Config) (*AppAResult, error) {
 	m, err := CaseStudyModel(3, 3)
 	if err != nil {
@@ -160,58 +162,59 @@ func AppA(cfg Config) (*AppAResult, error) {
 	// at the Eq. (4) rate; dedicated partitions serve their own streams.
 	lambdaW := m.Services[0].ArrivalRate
 	lambdaD := m.Services[1].ArrivalRate
-
-	simLoss := func(n int, arrivalRate, servingRate float64, seed uint64) (float64, error) {
-		r, err := queueing.Simulate(queueing.Config{
-			Servers:  n,
-			Arrivals: workload.NewPoisson(arrivalRate),
-			Service:  stats.NewExponential(servingRate),
-			Horizon:  horizon,
-			Warmup:   warmup,
-			Seed:     seed,
-		})
-		if err != nil {
-			return 0, err
-		}
-		return r.LossProb, nil
-	}
-
-	// Dedicated: 3 web servers at mu_wi and 3 db servers at mu_dc.
-	lossW, err := simLoss(3, lambdaW, workload.WebDiskRate, cfg.Seed+1)
-	if err != nil {
-		return nil, err
-	}
-	lossD, err := simLoss(3, lambdaD, workload.DBCPURate, cfg.Seed+2)
-	if err != nil {
-		return nil, err
-	}
 	lambda := lambdaW + lambdaD
-	dedicatedLoss := (lambdaW*lossW + lambdaD*lossD) / lambda
 
-	// Consolidated with ideal flowing: 6 servers serving the merged stream
-	// at the consolidated rate of Eq. (4) on the binding resource.
+	// Consolidated with ideal flowing serves the merged stream at the
+	// consolidated rate of Eq. (4) on the binding resource; the static
+	// split keeps the partitions but virtualized (impact factors apply).
 	muPrime := m.ConsolidatedServingRate(core.DiskIO, m.Form)
 	if v := m.ConsolidatedServingRate(core.CPU, m.Form); v < muPrime {
 		muPrime = v
 	}
-	flowLoss, err := simLoss(servers, lambda, muPrime, cfg.Seed+3)
+	aWI, _, aDC := caseStudyImpact()
+
+	sims := []struct {
+		n    int
+		rate float64
+		mu   float64
+		seed uint64
+	}{
+		{3, lambdaW, workload.WebDiskRate, cfg.Seed + 1},       // dedicated web
+		{3, lambdaD, workload.DBCPURate, cfg.Seed + 2},         // dedicated db
+		{servers, lambda, muPrime, cfg.Seed + 3},               // ideal flowing
+		{3, lambdaW, workload.WebDiskRate * aWI, cfg.Seed + 4}, // static web
+		{3, lambdaD, workload.DBCPURate * aDC, cfg.Seed + 5},   // static db
+	}
+	losses := make([]float64, len(sims))
+	e := cfg.engine().Scoped("appa")
+	err = e.Go(context.Background(), len(sims), func(ctx context.Context, i int) error {
+		j := sims[i]
+		v, err := sweep.Cached(ctx, e,
+			cacheKey("appa/loss-sim", j.n, j.rate, j.mu, horizon, warmup, j.seed),
+			func(context.Context) (float64, error) {
+				r, err := queueing.Simulate(queueing.Config{
+					Servers:  j.n,
+					Arrivals: workload.NewPoisson(j.rate),
+					Service:  stats.NewExponential(j.mu),
+					Horizon:  horizon,
+					Warmup:   warmup,
+					Seed:     j.seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return r.LossProb, nil
+			})
+		losses[i] = v
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Static split without flowing: the same 6 servers hard-partitioned
-	// 3/3 but now virtualized (impact factors apply) — consolidation
-	// without on-demand allocation.
-	aWI, _, aDC := caseStudyImpact()
-	staticW, err := simLoss(3, lambdaW, workload.WebDiskRate*aWI, cfg.Seed+4)
-	if err != nil {
-		return nil, err
-	}
-	staticD, err := simLoss(3, lambdaD, workload.DBCPURate*aDC, cfg.Seed+5)
-	if err != nil {
-		return nil, err
-	}
-	staticLoss := (lambdaW*staticW + lambdaD*staticD) / lambda
+	dedicatedLoss := (lambdaW*losses[0] + lambdaD*losses[1]) / lambda
+	flowLoss := losses[2]
+	staticLoss := (lambdaW*losses[3] + lambdaD*losses[4]) / lambda
 
 	mkRow := func(name string, consLoss float64) AppARow {
 		improvement := (1 - consLoss) / (1 - dedicatedLoss)
@@ -331,6 +334,13 @@ type ModelValResult struct {
 	Rows []ModelValRow
 }
 
+// lossStudy is the memoized outcome of one replication study: the loss CI
+// in the JSON-safe interval form.
+type lossStudy struct {
+	Loss         sweep.Interval `json:"loss"`
+	EarlyStopped bool           `json:"early_stopped,omitempty"`
+}
+
 // ModelVal validates the Erlang machinery and the Eq. (5) readings against
 // discrete-event simulation: homogeneous pools (where every reading
 // coincides and Erlang B is exact), and the heterogeneous case-study mix
@@ -338,6 +348,8 @@ type ModelValResult struct {
 // the simulation). Each operating point is estimated by parallel
 // independent replications with CI-driven early stopping — the noisiest
 // sweep in the suite, and the one the replication engine pays off most on.
+// The replications draw their concurrency from the shared pool and each
+// study memoizes its loss interval.
 func ModelVal(cfg Config) (*ModelValResult, error) {
 	horizon := cfg.scale(6000)
 	warmup := horizon / 10
@@ -350,8 +362,28 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 	if cfg.Quick {
 		reps.Replications = 2
 	}
-	study := func(c queueing.Config) (*queueing.ReplicationSet, error) {
-		return queueing.RunReplications(context.Background(), c, reps)
+	e := cfg.engine().Scoped("modelval")
+	study := func(key string, c queueing.Config) (lossStudy, error) {
+		return sweep.Cached(context.Background(), e, key,
+			func(ctx context.Context) (lossStudy, error) {
+				rcfg := reps
+				rcfg.Pool = e.Pool()
+				set, err := queueing.RunReplications(ctx, c, rcfg)
+				if err != nil {
+					return lossStudy{}, err
+				}
+				return lossStudy{
+					Loss: sweep.Interval{
+						Point: sweep.JFloat(set.LossCI.Point),
+						Lo:    sweep.JFloat(set.LossCI.Lo),
+						Hi:    sweep.JFloat(set.LossCI.Hi),
+					},
+					EarlyStopped: set.EarlyStopped,
+				}, nil
+			})
+	}
+	repsKey := func(parts ...any) []any {
+		return append(parts, horizon, warmup, reps.Replications, reps.Precision, reps.MinReplications)
 	}
 
 	// Homogeneous sweeps: M/M/n/n and M/G/n/n vs Erlang B.
@@ -375,26 +407,30 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 		default:
 			svc = stats.HyperExpWithSCV(1, h.scv)
 		}
-		set, err := study(queueing.Config{
-			Servers:  h.n,
-			Arrivals: workload.NewPoisson(h.rho),
-			Service:  svc,
-			Horizon:  horizon,
-			Warmup:   warmup,
-			Seed:     cfg.Seed + uint64(i),
-		})
+		seed := cfg.Seed + uint64(i)
+		st, err := study(
+			cacheKey(repsKey("modelval/homo", h.n, h.rho, h.scv, seed)...),
+			queueing.Config{
+				Servers:  h.n,
+				Arrivals: workload.NewPoisson(h.rho),
+				Service:  svc,
+				Horizon:  horizon,
+				Warmup:   warmup,
+				Seed:     seed,
+			})
 		if err != nil {
 			return nil, err
 		}
+		ci := st.Loss.CI(0.95)
 		want := erlang.MustB(h.n, h.rho)
 		res.Rows = append(res.Rows, ModelValRow{
 			Label:     h.label,
 			Servers:   h.n,
 			Traffic:   h.rho,
 			ModelLoss: want,
-			SimLoss:   set.LossCI.Point,
-			SimCI:     set.LossCI,
-			AbsErr:    abs(set.LossCI.Point - want),
+			SimLoss:   ci.Point,
+			SimCI:     ci,
+			AbsErr:    abs(ci.Point - want),
 		})
 	}
 
@@ -419,17 +455,21 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 		m2: 1 / (workload.DBCPURate * aDC),
 	}
 	for _, n := range []int{4, 6, 8, 10} {
-		set, err := study(queueing.Config{
-			Servers:  n,
-			Arrivals: workload.NewPoisson(lambda),
-			Service:  mix,
-			Horizon:  horizon,
-			Warmup:   warmup,
-			Seed:     cfg.Seed + uint64(n)*77,
-		})
+		seed := cfg.Seed + uint64(n)*77
+		st, err := study(
+			cacheKey(repsKey("modelval/mix", n, lambda, mix.p1, mix.m1, mix.m2, seed)...),
+			queueing.Config{
+				Servers:  n,
+				Arrivals: workload.NewPoisson(lambda),
+				Service:  mix,
+				Horizon:  horizon,
+				Warmup:   warmup,
+				Seed:     seed,
+			})
 		if err != nil {
 			return nil, err
 		}
+		ci := st.Loss.CI(0.95)
 		for _, form := range []core.TrafficForm{core.TrafficEq5Verbatim, core.TrafficEq5Restricted, core.TrafficHarmonic} {
 			worst := 0.0
 			rho := 0.0
@@ -447,9 +487,9 @@ func ModelVal(cfg Config) (*ModelValResult, error) {
 				Traffic:   rho,
 				Form:      form,
 				ModelLoss: worst,
-				SimLoss:   set.LossCI.Point,
-				SimCI:     set.LossCI,
-				AbsErr:    abs(set.LossCI.Point - worst),
+				SimLoss:   ci.Point,
+				SimCI:     ci,
+				AbsErr:    abs(ci.Point - worst),
 			})
 		}
 	}

@@ -1,11 +1,10 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/virt"
 	"repro/internal/workload"
 )
@@ -26,11 +25,64 @@ type OverheadResult struct {
 	FitR2       float64
 }
 
-// overheadSweep runs the single-host throughput sweep underlying
-// Figs. 5/6/8: one physical server, driven natively and with v = 1..maxVMs
-// co-located VMs of the same service. Each point averages `replications`
-// parallel independent replications (1 = a single run, bit-identical to the
-// pre-engine sweep).
+// overheadScenario is one point of the Fig. 5/6/8 grid: one physical
+// server driven natively (vms = 0) or with v co-located VMs of the same
+// service splitting the offered load.
+func overheadScenario(profilePreset, overheadPreset string, horizon, warmup float64,
+	vms int, load float64, closedLoop bool, replications int, seed uint64) scenario.Scenario {
+
+	s := scenario.Scenario{
+		Horizon:     horizon,
+		Warmup:      &warmup,
+		Seed:        seed,
+		Replication: &scenario.Replication{Reps: replications},
+	}
+	if vms == 0 {
+		svc := scenario.Service{
+			Profile:          scenario.Profile{Preset: profilePreset},
+			DedicatedServers: 1,
+		}
+		if closedLoop {
+			svc.Clients = int(load)
+		} else {
+			svc.Arrivals = workload.PoissonSpec(load)
+		}
+		s.Mode = "dedicated"
+		s.Services = []scenario.Service{svc}
+		return s
+	}
+	svcs := make([]scenario.Service, vms)
+	for i := range svcs {
+		svcs[i] = scenario.Service{
+			Profile:  scenario.Profile{Preset: profilePreset},
+			Overhead: &scenario.Overhead{Preset: overheadPreset},
+		}
+		if closedLoop {
+			svcs[i].Clients = int(load) / vms
+			if i < int(load)%vms {
+				svcs[i].Clients++
+			}
+			if svcs[i].Clients == 0 {
+				svcs[i].Clients = 1
+			}
+		} else {
+			svcs[i].Arrivals = workload.PoissonSpec(load / float64(vms))
+		}
+	}
+	s.Mode = "consolidated"
+	s.Services = svcs
+	// The VM-count sweeps pack up to 9 VMs on one host; give it the memory
+	// to hold them (the two-group case study stays on the default 8 GB
+	// hosts).
+	s.Fleet = scenario.Fleet{Hosts: 1, HostMemoryGB: float64(vms) + 2}
+	return s
+}
+
+// overheadSweep declares the (VM count × offered load) grid underlying
+// Figs. 5/6/8 and runs it as one sweep through the shared engine. Each
+// point averages `replications` parallel independent replications (1 = a
+// single run, bit-identical to the pre-engine sweep); point seeds follow
+// the historical seed layout so cached artifacts survive the refactor.
 func overheadSweep(cfg Config, id, profilePreset, overheadPreset string,
 	loads []float64, closedLoop bool, maxVMs, replications int) (*OverheadResult, error) {
 
@@ -47,70 +99,26 @@ func overheadSweep(cfg Config, id, profilePreset, overheadPreset string,
 		res.LoadUnit = "EBs"
 	}
 
-	runOne := func(vms int, load float64, seed uint64) (float64, error) {
-		s := scenario.Scenario{
-			Horizon:     horizon,
-			Warmup:      &warmup,
-			Seed:        seed,
-			Replication: &scenario.Replication{Reps: replications},
+	var pts []sweep.Point
+	for v := 0; v <= maxVMs; v++ {
+		for li, load := range loads {
+			pts = append(pts, sweep.Point{
+				Label: fmt.Sprintf("v=%d load=%g", v, load),
+				Scenario: overheadScenario(profilePreset, overheadPreset,
+					horizon, warmup, v, load, closedLoop, replications,
+					cfg.Seed+uint64(v)*1000+uint64(li)),
+			})
 		}
-		if vms == 0 {
-			svc := scenario.Service{
-				Profile:          scenario.Profile{Preset: profilePreset},
-				DedicatedServers: 1,
-			}
-			if closedLoop {
-				svc.Clients = int(load)
-			} else {
-				svc.Arrivals = workload.PoissonSpec(load)
-			}
-			s.Mode = "dedicated"
-			s.Services = []scenario.Service{svc}
-		} else {
-			svcs := make([]scenario.Service, vms)
-			for i := range svcs {
-				svcs[i] = scenario.Service{
-					Profile:  scenario.Profile{Preset: profilePreset},
-					Overhead: &scenario.Overhead{Preset: overheadPreset},
-				}
-				if closedLoop {
-					svcs[i].Clients = int(load) / vms
-					if i < int(load)%vms {
-						svcs[i].Clients++
-					}
-					if svcs[i].Clients == 0 {
-						svcs[i].Clients = 1
-					}
-				} else {
-					svcs[i].Arrivals = workload.PoissonSpec(load / float64(vms))
-				}
-			}
-			s.Mode = "consolidated"
-			s.Services = svcs
-			// The VM-count sweeps pack up to 9 VMs on one host; give it
-			// the memory to hold them (the two-group case study stays on
-			// the default 8 GB hosts).
-			s.Fleet = scenario.Fleet{Hosts: 1, HostMemoryGB: float64(vms) + 2}
-		}
-		c, err := s.Compile()
-		if err != nil {
-			return 0, err
-		}
-		set, err := cluster.Replications(context.Background(), c.Cluster, c.Replication)
-		if err != nil {
-			return 0, err
-		}
-		return set.TotalThroughput.Point, nil
+	}
+	out, err := cfg.runPoints(id, pts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
 	}
 
 	for v := 0; v <= maxVMs; v++ {
 		series := make([]float64, len(loads))
-		for li, load := range loads {
-			thr, err := runOne(v, load, cfg.Seed+uint64(v)*1000+uint64(li))
-			if err != nil {
-				return nil, fmt.Errorf("%s: v=%d load=%g: %w", id, v, load, err)
-			}
-			series[li] = thr
+		for li := range loads {
+			series[li] = float64(out[v*len(loads)+li].TotalThroughput.Point)
 		}
 		if v == 0 {
 			res.Native = series
@@ -304,43 +312,44 @@ type Fig7Result struct {
 // Fig7 reproduces the vCPU allocation study: one DB VM on one host, vCPUs
 // either pinned to physical cores or left to the Xen credit scheduler
 // (which costs roughly a quarter of throughput — virt.UnpinnedPenalty).
+// The two series share seeds point for point, so the comparison is paired.
 func Fig7(cfg Config) (*Fig7Result, error) {
 	horizon := cfg.scale(60)
 	warmup := horizon / 5
 	ebs := sweepLoads(cfg, 100, 1300, 100)
 	res := &Fig7Result{EBs: ebs}
+
+	var pts []sweep.Point
 	for _, pinned := range []bool{true, false} {
 		for li, eb := range ebs {
 			overhead := &scenario.Overhead{Preset: "db"}
 			if !pinned {
 				overhead.Pinning = "xen-scheduled"
 			}
-			s := scenario.Scenario{
-				Mode: "consolidated",
-				Services: []scenario.Service{{
-					Profile:  scenario.Profile{Preset: "tpcw-ebook"},
-					Overhead: overhead,
-					Clients:  int(eb),
-				}},
-				Fleet:   scenario.Fleet{Hosts: 1},
-				Horizon: horizon,
-				Warmup:  &warmup,
-				Seed:    cfg.Seed + uint64(li),
-			}
-			c, err := s.Compile()
-			if err != nil {
-				return nil, err
-			}
-			out, err := cluster.Run(c.Cluster)
-			if err != nil {
-				return nil, err
-			}
-			if pinned {
-				res.Pinned = append(res.Pinned, out.TotalThroughput())
-			} else {
-				res.Unpinned = append(res.Unpinned, out.TotalThroughput())
-			}
+			pts = append(pts, sweep.Point{
+				Label: fmt.Sprintf("pinned=%t ebs=%g", pinned, eb),
+				Scenario: scenario.Scenario{
+					Mode: "consolidated",
+					Services: []scenario.Service{{
+						Profile:  scenario.Profile{Preset: "tpcw-ebook"},
+						Overhead: overhead,
+						Clients:  int(eb),
+					}},
+					Fleet:   scenario.Fleet{Hosts: 1},
+					Horizon: horizon,
+					Warmup:  &warmup,
+					Seed:    cfg.Seed + uint64(li),
+				},
+			})
 		}
+	}
+	out, err := cfg.runPoints("fig7", pts)
+	if err != nil {
+		return nil, err
+	}
+	for li := range ebs {
+		res.Pinned = append(res.Pinned, float64(out[li].TotalThroughput.Point))
+		res.Unpinned = append(res.Unpinned, float64(out[len(ebs)+li].TotalThroughput.Point))
 	}
 	return res, nil
 }

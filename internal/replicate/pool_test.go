@@ -1,0 +1,53 @@
+package replicate
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	_, err := Run(context.Background(),
+		Config{Replications: 2, Workers: -3},
+		func(rep int, seed uint64) (uint64, error) { return seed, nil }, nil)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Workers=-3: err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestSharedPoolIdenticalResults pins the one-budget property: routing a
+// study through a shared pool (of any size) changes only scheduling, never
+// the merged outputs.
+func TestSharedPoolIdenticalResults(t *testing.T) {
+	sim := func(rep int, seed uint64) (uint64, error) { return seed * 3, nil }
+	metric := func(v uint64) float64 { return float64(v % 7) }
+
+	base, err := Run(context.Background(),
+		Config{Replications: 8, Workers: 1, Seed: 11}, sim, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slots := range []int{1, 2, 8} {
+		p, err := pool.New(slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(context.Background(),
+			Config{Replications: 8, Seed: 11, Pool: p}, sim, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Outputs, base.Outputs) || !reflect.DeepEqual(got.Metrics, base.Metrics) {
+			t.Fatalf("pool size %d changed the merged outputs", slots)
+		}
+		if p.Units() != 8 {
+			t.Fatalf("pool size %d admitted %d units, want 8", slots, p.Units())
+		}
+		if p.Peak() > slots {
+			t.Fatalf("pool size %d saw peak occupancy %d", slots, p.Peak())
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -44,9 +45,19 @@ type Config struct {
 	Replications int
 
 	// Workers bounds the number of concurrently running replications.
-	// Zero or negative selects runtime.GOMAXPROCS(0). The worker count
-	// never affects results, only wall-clock time.
+	// Zero selects runtime.GOMAXPROCS(0) (or, with a shared Pool, the
+	// replication count — the pool is then the binding limit). Negative
+	// values are rejected. The worker count never affects results, only
+	// wall-clock time.
 	Workers int
+
+	// Pool, when non-nil, is a shared concurrency budget: each replication
+	// holds one pool slot for the duration of its sim call, so studies
+	// running concurrently (e.g. many sweep points) share one bound instead
+	// of multiplying their worker counts. Slots are held only while sim
+	// executes — never while waiting on other work — so nesting cannot
+	// deadlock.
+	Pool *pool.Pool
 
 	// Seed is the base seed; replication r runs with Seed+r.
 	Seed uint64
@@ -73,8 +84,14 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+	if c.Workers == 0 {
+		if c.Pool != nil {
+			// The shared pool is the real limit; let every replication
+			// queue on it so free slots are never left idle.
+			c.Workers = c.Replications
+		} else {
+			c.Workers = runtime.GOMAXPROCS(0)
+		}
 	}
 	if c.Workers > c.Replications {
 		c.Workers = c.Replications
@@ -97,6 +114,9 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	if c.Replications <= 0 {
 		return fmt.Errorf("%w: replications=%d", ErrInvalidConfig, c.Replications)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: workers=%d (negative; 0 selects GOMAXPROCS)", ErrInvalidConfig, c.Workers)
 	}
 	if c.Precision < 0 {
 		return fmt.Errorf("%w: precision=%g", ErrInvalidConfig, c.Precision)
@@ -199,6 +219,11 @@ func Run[T any](ctx context.Context, cfg Config, sim func(rep int, seed uint64) 
 				if !ok {
 					return
 				}
+				if err := cfg.Pool.Acquire(ctx); err != nil {
+					// Cancellation while queueing for a slot: stop like a
+					// worker observing ctx.Err() at the loop top.
+					return
+				}
 				var start time.Time
 				if em != nil {
 					em.beginRep()
@@ -208,6 +233,7 @@ func Run[T any](ctx context.Context, cfg Config, sim func(rep int, seed uint64) 
 				if em != nil {
 					em.endRep(time.Since(start).Seconds(), err)
 				}
+				cfg.Pool.Release()
 				results <- outcome[T]{rep: rep, out: out, err: err}
 			}
 		}()

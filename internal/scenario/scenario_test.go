@@ -26,7 +26,19 @@ func exampleFiles(t testing.TB) []string {
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no example scenarios under %s (err %v)", examplesDir, err)
 	}
-	return files
+	// sweep-*.json files are sweep specs (internal/sweep), not single
+	// scenarios; they are exercised by the sweep package and CI's -sweep
+	// smoke instead.
+	scenarios := files[:0]
+	for _, f := range files {
+		if !strings.HasPrefix(filepath.Base(f), "sweep-") {
+			scenarios = append(scenarios, f)
+		}
+	}
+	if len(scenarios) == 0 {
+		t.Fatalf("no non-sweep example scenarios under %s", examplesDir)
+	}
+	return scenarios
 }
 
 func TestExamplesValidateAndCompile(t *testing.T) {

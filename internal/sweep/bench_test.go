@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// benchSpec keeps both benchmarks microsecond-scale: simbench pins a fixed
+// iteration count, so these must stay cheap.
+func benchSpec(b *testing.B) Spec {
+	b.Helper()
+	sp, err := ParseSpecBytes([]byte(testSpecJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp
+}
+
+// BenchmarkSweepExpand measures grid expansion — the per-sweep fixed cost
+// the engine pays before any simulation starts (JSON round-trips, strict
+// re-parse and validation per point).
+func BenchmarkSweepExpand(b *testing.B) {
+	sp := benchSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := sp.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 4 {
+			b.Fatal("bad expansion")
+		}
+	}
+}
+
+// BenchmarkSweepPointKey measures the content-address computation — paid
+// once per point per run, hit or miss.
+func BenchmarkSweepPointKey(b *testing.B) {
+	sp := benchSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PointKey(sp.Base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

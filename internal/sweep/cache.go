@@ -1,0 +1,157 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/scenario"
+)
+
+// EngineVersion is the cache-key component invalidating every memoized
+// result when the engine's semantics change. Bump it whenever the
+// simulation physics, the scenario compiler, or the PointResult layout
+// changes meaning.
+const EngineVersion = "sweep-engine/v1"
+
+// DefaultCacheDir is where the tools memoize completed points.
+const DefaultCacheDir = "artifacts/cache"
+
+// Cache is a content-addressed result store: one JSON file per key under
+// <dir>/<key[:2]>/<key>.json, written atomically (temp file + rename) so a
+// crashed run never leaves a truncated entry behind. A nil *Cache disables
+// caching; every method is then a no-op.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache root ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// envelope is the on-disk entry layout: the key is echoed so a moved or
+// corrupted file can never satisfy the wrong lookup.
+type envelope struct {
+	Key    string          `json:"key"`
+	Engine string          `json:"engine"`
+	Value  json.RawMessage `json:"value"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get loads the value stored under key into out. Any failure — missing
+// entry, unreadable file, mismatched key, undecodable value — is a miss:
+// the caller recomputes and overwrites.
+func (c *Cache) Get(key string, out any) bool {
+	if c == nil || len(key) < 2 {
+		return false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != key || env.Engine != EngineVersion {
+		return false
+	}
+	return json.Unmarshal(env.Value, out) == nil
+}
+
+// Put stores value under key atomically.
+func (c *Cache) Put(key string, value any) error {
+	if c == nil {
+		return nil
+	}
+	if len(key) < 2 {
+		return fmt.Errorf("sweep: cache key %q too short", key)
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache value: %w", err)
+	}
+	data, err := json.Marshal(envelope{Key: key, Engine: EngineVersion, Value: raw})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// Key hashes arbitrary string parts (plus the engine version) into a cache
+// key — the generic form for memoizing non-scenario computations. Every
+// parameter that influences the result, including the seed, must appear in
+// the parts.
+func Key(parts ...string) string {
+	h := sha256.New()
+	h.Write([]byte(EngineVersion))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PointKey derives the content address of one scenario point: the SHA-256
+// of (engine version, resolved scenario JSON, replication config). The
+// replication worker count is zeroed first — workers change wall-clock
+// time, never results — and scenarios with a wall-clock timeout are not
+// cacheable at all (the completed prefix depends on machine speed), which
+// cacheablePoint guards.
+func PointKey(s scenario.Scenario) (string, error) {
+	s.ApplyDefaults()
+	rep := *s.Replication
+	rep.Workers = 0
+	s.Replication = &rep
+	blob, err := json.Marshal(struct {
+		Engine      string               `json:"engine"`
+		Scenario    scenario.Scenario    `json:"scenario"`
+		Replication scenario.Replication `json:"replication"`
+	}{EngineVersion, s, rep})
+	if err != nil {
+		return "", fmt.Errorf("sweep: encoding point key: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cacheablePoint reports whether a point's result is machine-independent
+// and therefore safe to memoize.
+func cacheablePoint(s scenario.Scenario) bool {
+	return s.Replication == nil || s.Replication.TimeoutSec == 0
+}

@@ -1,0 +1,232 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/scenario"
+)
+
+func expandTestSpec(t *testing.T) []Point {
+	t.Helper()
+	sp, err := ParseSpecBytes([]byte(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunPointsDeterministicAcrossWorkers is the golden determinism check:
+// the serialized sweep results are byte-identical whether the shared pool
+// has one slot or eight.
+func TestRunPointsDeterministicAcrossWorkers(t *testing.T) {
+	points := expandTestSpec(t)
+	var blobs [][]byte
+	for _, workers := range []int{1, 8} {
+		p, err := pool.New(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewEngine(p, nil, nil).RunPoints(context.Background(), points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, mustJSON(t, res))
+	}
+	if string(blobs[0]) != string(blobs[1]) {
+		t.Fatal("sweep results differ between workers=1 and workers=8")
+	}
+}
+
+// TestCacheColdWarm pins the memoization contract: a warm rerun reproduces
+// the cold run's results byte for byte, serving every point from cache.
+func TestCacheColdWarm(t *testing.T) {
+	points := expandTestSpec(t)
+	dir := t.TempDir()
+	p, err := pool.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() ([]PointResult, *Engine) {
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(p, cache, nil)
+		res, err := e.RunPoints(context.Background(), points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, e
+	}
+
+	cold, coldEng := run()
+	snap := coldEng.Registry().Snapshot()
+	if snap.Counters["sweep/cache_misses"] != uint64(len(points)) {
+		t.Fatalf("cold misses = %d, want %d", snap.Counters["sweep/cache_misses"], len(points))
+	}
+	if snap.Counters["sweep/cache_hits"] != 0 {
+		t.Fatalf("cold hits = %d, want 0", snap.Counters["sweep/cache_hits"])
+	}
+
+	warm, warmEng := run()
+	snap = warmEng.Registry().Snapshot()
+	if snap.Counters["sweep/cache_hits"] != uint64(len(points)) {
+		t.Fatalf("warm hits = %d, want %d", snap.Counters["sweep/cache_hits"], len(points))
+	}
+	for i, r := range warm {
+		if !r.CacheHit {
+			t.Fatalf("warm point %d not served from cache", i)
+		}
+		if r.Label != points[i].Label {
+			t.Fatalf("warm point %d label = %q, want %q", i, r.Label, points[i].Label)
+		}
+	}
+	if string(mustJSON(t, cold)) != string(mustJSON(t, warm)) {
+		t.Fatal("warm rerun differs from cold run")
+	}
+}
+
+func TestTimeoutPointsNeverCached(t *testing.T) {
+	points := expandTestSpec(t)
+	points = points[:1]
+	points[0].Scenario.Replication.TimeoutSec = 60
+
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(nil, cache, nil)
+	if _, err := e.RunPoints(context.Background(), points); err != nil {
+		t.Fatal(err)
+	}
+	entries := 0
+	if err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			entries++
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if entries != 0 {
+		t.Fatalf("timeout-bounded point wrote %d cache entries", entries)
+	}
+}
+
+func TestPointKeySemantics(t *testing.T) {
+	base := func() scenario.Scenario {
+		sp, err := ParseSpecBytes([]byte(testSpecJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp.Base
+	}
+
+	a := base()
+	b := base()
+	b.Replication.Workers = 8
+	ka, err := PointKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := PointKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatal("PointKey depends on the worker count")
+	}
+
+	c := base()
+	c.Horizon = 99
+	kc, err := PointKey(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc == ka {
+		t.Fatal("PointKey ignores the horizon")
+	}
+
+	d := base()
+	d.Seed = a.Seed + 1
+	kd, err := PointKey(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd == ka {
+		t.Fatal("PointKey ignores the seed")
+	}
+}
+
+func TestCachedHelper(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(nil, cache, nil)
+	key := Key("unit", "cached-helper", "seed=7")
+
+	calls := 0
+	compute := func(context.Context) (float64, error) {
+		calls++
+		return 1.25, nil
+	}
+	for i := 0; i < 2; i++ {
+		v, err := Cached(context.Background(), e, key, compute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1.25 {
+			t.Fatalf("call %d: v = %g", i, v)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+func TestJFloatRoundTrip(t *testing.T) {
+	values := []float64{0, 1.25, -3e-17, math.NaN(), math.Inf(1), math.Inf(-1), 0.1 + 0.2}
+	for _, v := range values {
+		blob, err := json.Marshal(JFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %g: %v", v, err)
+		}
+		var back JFloat
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", blob, err)
+		}
+		got := float64(back)
+		if math.IsNaN(v) {
+			if !math.IsNaN(got) {
+				t.Fatalf("NaN round-tripped to %g", got)
+			}
+			continue
+		}
+		if got != v {
+			t.Fatalf("%g round-tripped to %g via %s", v, got, blob)
+		}
+	}
+}

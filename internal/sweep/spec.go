@@ -1,0 +1,276 @@
+// Package sweep is the unified parameter-sweep engine: a declarative sweep
+// spec (a base scenario plus named axes) expands into a deterministic grid
+// of points, and one shared engine executes the points — and their
+// replications — against a single process-wide worker pool, memoizing
+// completed points in a content-addressed cache under artifacts/cache/.
+//
+// The paper's results are all sweeps (loss vs arrival rate, consolidation
+// size vs utilization and power), so internal/experiments defines its
+// figures as point lists over scenario.Scenario and funnels every
+// simulation through Engine.RunPoints; cmd/simulate exposes the same
+// machinery on JSON files via -sweep.
+//
+// Determinism contract: point i of a spec runs with seed
+// PointSeed(rootSeed, i) unless the spec pins seeds explicitly, replication
+// merging is order-independent, and the cache stores only seed-determined
+// results — so a sweep's outcome is bit-identical for any worker count and
+// any cache state.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// ErrInvalidSpec reports an unusable sweep spec.
+var ErrInvalidSpec = errors.New("sweep: invalid spec")
+
+// maxPoints bounds a single expansion; a grid beyond this is almost
+// certainly a unit mistake in an axis.
+const maxPoints = 100000
+
+// Axis is one swept parameter: a dotted path into the scenario JSON
+// ("fleet.hosts", "services.0.clients", "horizon") and the values to take.
+type Axis struct {
+	Path   string `json:"path"`
+	Values []any  `json:"values"`
+}
+
+// Spec is the declarative sweep description: a base scenario plus axes.
+// Expansion is row-major with the first axis outermost, so the point order
+// — and therefore every derived seed — is a pure function of the spec.
+type Spec struct {
+	// Name labels the sweep in reports and manifests.
+	Name string `json:"name,omitempty"`
+
+	// Notes is free-form documentation carried with the file.
+	Notes string `json:"notes,omitempty"`
+
+	// Base is the scenario every point starts from.
+	Base scenario.Scenario `json:"base"`
+
+	// Axes are the swept parameters; an empty list yields the single base
+	// point.
+	Axes []Axis `json:"axes,omitempty"`
+}
+
+// Point is one expanded grid point.
+type Point struct {
+	// Index is the point's position in the row-major grid order.
+	Index int
+
+	// Label names the point for reports ("fleet.hosts=3 horizon=60").
+	Label string
+
+	// Scenario is the fully resolved per-point scenario (defaults applied,
+	// seed derived).
+	Scenario scenario.Scenario
+}
+
+// ParseSpec strictly decodes one sweep spec from JSON; unknown fields are
+// rejected so typos fail loudly.
+func ParseSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Spec{}, fmt.Errorf("%w: trailing data after spec object", ErrInvalidSpec)
+	}
+	return sp, nil
+}
+
+// ParseSpecBytes decodes one sweep spec from a JSON byte slice.
+func ParseSpecBytes(data []byte) (Spec, error) { return ParseSpec(bytes.NewReader(data)) }
+
+// Size reports the grid size (the product of axis lengths).
+func (sp Spec) Size() int {
+	n := 1
+	for _, ax := range sp.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}
+
+// Validate checks the spec shape without expanding it.
+func (sp Spec) Validate() error {
+	seen := map[string]bool{}
+	for i, ax := range sp.Axes {
+		if ax.Path == "" {
+			return fmt.Errorf("%w: axis %d has no path", ErrInvalidSpec, i)
+		}
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("%w: axis %q has no values", ErrInvalidSpec, ax.Path)
+		}
+		if seen[ax.Path] {
+			return fmt.Errorf("%w: axis %q appears twice", ErrInvalidSpec, ax.Path)
+		}
+		seen[ax.Path] = true
+	}
+	if sp.Size() > maxPoints {
+		return fmt.Errorf("%w: %d points exceeds the %d-point cap", ErrInvalidSpec, sp.Size(), maxPoints)
+	}
+	return nil
+}
+
+// Expand materializes the grid: every combination of axis values applied to
+// the base scenario, in row-major order with the first axis outermost.
+// Each point gets seed PointSeed(rootSeed, index), where rootSeed is the
+// base scenario's (default-resolved) seed — unless an axis sweeps "seed"
+// itself, which then wins. Every point is validated; the first invalid
+// point aborts the expansion.
+func (sp Spec) Expand() ([]Point, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Work on the base's JSON form so axis paths address exactly the
+	// fields a scenario file exposes, with the same names.
+	baseJSON, err := json.Marshal(sp.Base)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding base: %v", ErrInvalidSpec, err)
+	}
+
+	root := sp.Base.Seed
+	if root == 0 {
+		resolved := sp.Base
+		resolved.ApplyDefaults()
+		root = resolved.Seed
+	}
+	seedSwept := false
+	for _, ax := range sp.Axes {
+		if ax.Path == "seed" {
+			seedSwept = true
+		}
+	}
+
+	points := make([]Point, 0, sp.Size())
+	coords := make([]int, len(sp.Axes))
+	for {
+		var doc map[string]any
+		if err := json.Unmarshal(baseJSON, &doc); err != nil {
+			return nil, fmt.Errorf("%w: decoding base: %v", ErrInvalidSpec, err)
+		}
+		var labels []string
+		for a, ax := range sp.Axes {
+			v := ax.Values[coords[a]]
+			if err := setPath(doc, ax.Path, v); err != nil {
+				return nil, fmt.Errorf("%w: axis %q: %v", ErrInvalidSpec, ax.Path, err)
+			}
+			labels = append(labels, fmt.Sprintf("%s=%s", ax.Path, compactJSON(v)))
+		}
+		blob, err := json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: encoding point %d: %v", ErrInvalidSpec, len(points), err)
+		}
+		// Strict re-decode: an axis path that invented a field the schema
+		// does not know is a typo, not a new parameter.
+		s, err := scenario.ParseBytes(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: point %d (%s): %v", ErrInvalidSpec, len(points), strings.Join(labels, " "), err)
+		}
+		if !seedSwept {
+			s.Seed = PointSeed(root, len(points))
+		}
+		s.ApplyDefaults()
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("point %d (%s): %w", len(points), strings.Join(labels, " "), err)
+		}
+		points = append(points, Point{
+			Index:    len(points),
+			Label:    strings.Join(labels, " "),
+			Scenario: s,
+		})
+
+		// Row-major increment: last axis fastest.
+		a := len(coords) - 1
+		for ; a >= 0; a-- {
+			coords[a]++
+			if coords[a] < len(sp.Axes[a].Values) {
+				break
+			}
+			coords[a] = 0
+		}
+		if a < 0 {
+			break
+		}
+	}
+	return points, nil
+}
+
+// PointSeed derives point index's seed from the sweep's root seed with a
+// splitmix64 mix: well-spread, stable across releases, and never zero
+// (zero means "default" in a scenario).
+func PointSeed(root uint64, index int) uint64 {
+	z := root + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// setPath sets a dotted path inside a decoded JSON document. Integer
+// segments index arrays (which must already be long enough); name segments
+// traverse or create objects.
+func setPath(doc map[string]any, path string, value any) error {
+	segs := strings.Split(path, ".")
+	var cur any = doc
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if idx, err := strconv.Atoi(seg); err == nil {
+			arr, ok := cur.([]any)
+			if !ok {
+				return fmt.Errorf("segment %q indexes a non-array", seg)
+			}
+			if idx < 0 || idx >= len(arr) {
+				return fmt.Errorf("index %d out of range (array has %d elements)", idx, len(arr))
+			}
+			if last {
+				arr[idx] = value
+				return nil
+			}
+			cur = arr[idx]
+			continue
+		}
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return fmt.Errorf("segment %q addresses into a non-object", seg)
+		}
+		if last {
+			obj[seg] = value
+			return nil
+		}
+		child, ok := obj[seg]
+		if !ok || child == nil {
+			next := map[string]any{}
+			obj[seg] = next
+			cur = next
+			continue
+		}
+		cur = child
+	}
+	return nil
+}
+
+// compactJSON renders an axis value for labels.
+func compactJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	return string(b)
+}

@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testSpecJSON is a deliberately tiny scenario so engine tests stay fast.
+const testSpecJSON = `{
+  "name": "unit",
+  "base": {
+    "mode": "consolidated",
+    "services": [
+      {
+        "profile": { "preset": "specweb-ecommerce" },
+        "overhead": { "preset": "web" },
+        "arrivals": { "kind": "poisson", "rate": 50 }
+      }
+    ],
+    "fleet": { "hosts": 2 },
+    "horizon": 8,
+    "warmup": 2,
+    "seed": 42,
+    "replication": { "reps": 2 }
+  },
+  "axes": [
+    { "path": "fleet.hosts", "values": [2, 3] },
+    { "path": "horizon", "values": [8, 12] }
+  ]
+}`
+
+func parseTestSpec(t *testing.T) Spec {
+	t.Helper()
+	sp, err := ParseSpecBytes([]byte(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestExpandGrid(t *testing.T) {
+	sp := parseTestSpec(t)
+	if got := sp.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(points))
+	}
+	// Row-major, first axis outermost: hosts varies slowest.
+	wantHosts := []int{2, 2, 3, 3}
+	wantHorizon := []float64{8, 12, 8, 12}
+	wantLabels := []string{
+		"fleet.hosts=2 horizon=8",
+		"fleet.hosts=2 horizon=12",
+		"fleet.hosts=3 horizon=8",
+		"fleet.hosts=3 horizon=12",
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Errorf("point %d: Index = %d", i, p.Index)
+		}
+		if p.Label != wantLabels[i] {
+			t.Errorf("point %d: Label = %q, want %q", i, p.Label, wantLabels[i])
+		}
+		if p.Scenario.Fleet.Hosts != wantHosts[i] {
+			t.Errorf("point %d: hosts = %d, want %d", i, p.Scenario.Fleet.Hosts, wantHosts[i])
+		}
+		if p.Scenario.Horizon != wantHorizon[i] {
+			t.Errorf("point %d: horizon = %g, want %g", i, p.Scenario.Horizon, wantHorizon[i])
+		}
+		if want := PointSeed(42, i); p.Scenario.Seed != want {
+			t.Errorf("point %d: seed = %d, want PointSeed(42,%d) = %d", i, p.Scenario.Seed, i, want)
+		}
+	}
+}
+
+func TestExpandSeedAxisWins(t *testing.T) {
+	sp := parseTestSpec(t)
+	sp.Axes = []Axis{{Path: "seed", Values: []any{float64(5), float64(6)}}}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Scenario.Seed != 5 || points[1].Scenario.Seed != 6 {
+		t.Fatalf("explicit seed axis not respected: got %d, %d",
+			points[0].Scenario.Seed, points[1].Scenario.Seed)
+	}
+}
+
+func TestExpandTypoPathRejected(t *testing.T) {
+	sp := parseTestSpec(t)
+	sp.Axes = append(sp.Axes, Axis{Path: "fleet.hostz", Values: []any{float64(1)}})
+	if _, err := sp.Expand(); err == nil {
+		t.Fatal("axis path fleet.hostz expanded cleanly; want a strict-parse rejection")
+	}
+}
+
+func TestExpandArrayIndexPath(t *testing.T) {
+	sp := parseTestSpec(t)
+	sp.Axes = []Axis{{Path: "services.0.arrivals.rate", Values: []any{float64(100), float64(200)}}}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := points[1].Scenario.Services[0].Arrivals.Rate; got != 200 {
+		t.Fatalf("services.0.arrivals.rate = %g, want 200", got)
+	}
+
+	sp.Axes = []Axis{{Path: "services.5.clients", Values: []any{float64(1)}}}
+	if _, err := sp.Expand(); err == nil {
+		t.Fatal("out-of-range array index expanded cleanly")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{Axes: []Axis{{Path: "", Values: []any{1.0}}}},
+		{Axes: []Axis{{Path: "horizon"}}},
+		{Axes: []Axis{
+			{Path: "horizon", Values: []any{1.0}},
+			{Path: "horizon", Values: []any{2.0}},
+		}},
+	}
+	for i, sp := range cases {
+		if err := sp.Validate(); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("case %d: err = %v, want ErrInvalidSpec", i, err)
+		}
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpecBytes([]byte(`{"bogus": 1}`)); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("unknown spec field accepted: %v", err)
+	}
+	trailing := testSpecJSON + ` {"more": true}`
+	if _, err := ParseSpecBytes([]byte(trailing)); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("trailing data accepted: %v", err)
+	}
+	if !strings.Contains(testSpecJSON, `"axes"`) {
+		t.Fatal("test spec lost its axes")
+	}
+}
+
+func TestPointSeed(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := PointSeed(42, i)
+		if s == 0 {
+			t.Fatalf("PointSeed(42,%d) = 0", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("PointSeed collision between indexes %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if PointSeed(42, 7) != PointSeed(42, 7) {
+		t.Fatal("PointSeed not deterministic")
+	}
+	if PointSeed(42, 7) == PointSeed(43, 7) {
+		t.Fatal("PointSeed ignores the root seed")
+	}
+}
