@@ -1,8 +1,9 @@
-// Command simbench runs the simulation-core microbenchmarks
-// (BenchmarkStationHighOccupancy, BenchmarkDesimSchedule*) through
-// `go test -bench` and records ns/op, B/op and allocs/op in a JSON file, so
-// the performance trajectory of the hot path is tracked in-repo from PR to
-// PR.
+// Command simbench runs the simulation-core benchmarks — the
+// microbenchmarks (BenchmarkStationHighOccupancy, BenchmarkDesimSchedule*,
+// BenchmarkSweep*) plus the whole-pipeline macro benchmark BenchmarkRepro —
+// through `go test -bench` and records ns/op, B/op and allocs/op in a JSON
+// file, so the performance trajectory of the hot path is tracked in-repo
+// from PR to PR.
 //
 // Usage:
 //
@@ -59,7 +60,7 @@ func main() {
 
 	args := []string{
 		"test", "-run", "^$",
-		"-bench", "BenchmarkStationHighOccupancy|BenchmarkDesimSchedule|BenchmarkSweep",
+		"-bench", "BenchmarkStationHighOccupancy|BenchmarkDesimSchedule|BenchmarkSweep|BenchmarkRepro",
 		"-benchmem", "-benchtime", *benchtime,
 		"./internal/cluster", "./internal/desim", "./internal/sweep",
 	}

@@ -146,6 +146,14 @@ type Config struct {
 	// Intended for single runs; replications sharing one tracer get
 	// interleaved (but individually intact) lines.
 	Tracer desim.Tracer
+
+	// Arenas, when non-nil, supplies reusable allocation arenas: each run
+	// borrows one (event storage plus request/jobRef freelists) and
+	// returns it on completion, so sequential runs — replications of one
+	// point, or consecutive sweep points — stop re-growing simulator
+	// state. Purely an allocation optimization; results are identical
+	// with or without it.
+	Arenas *ArenaPool
 }
 
 // HostClass describes one hardware class of a heterogeneous consolidated

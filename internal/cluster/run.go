@@ -67,6 +67,7 @@ func sortedKeys(m map[string]*station) []string {
 type runner struct {
 	cfg       *Config
 	sim       *desim.Simulator
+	arena     *Arena // nil = allocate requests/jobRefs individually
 	root      *stats.Stream
 	hosts     []*host
 	byService [][]*host  // dispatch pools per service
@@ -90,11 +91,19 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var ar *Arena
+	sim := desim.New()
+	if cfg.Arenas != nil {
+		ar = cfg.Arenas.Get()
+		sim = ar.sim
+		defer cfg.Arenas.Put(ar)
+	}
 	r := &runner{
-		cfg:  &cfg,
-		sim:  desim.New(),
-		root: stats.NewStream(cfg.Seed, fmt.Sprintf("cluster/%s", cfg.Mode)),
-		reg:  obs.NewRegistry(),
+		cfg:   &cfg,
+		sim:   sim,
+		arena: ar,
+		root:  stats.NewStream(cfg.Seed, fmt.Sprintf("cluster/%s", cfg.Mode)),
+		reg:   obs.NewRegistry(),
 	}
 	if cfg.Tracer != nil {
 		r.sim.SetTracer(cfg.Tracer)
@@ -141,6 +150,13 @@ func (r *runner) build() {
 		r.resources[i] = resourceSet(cfg.Services[i : i+1])
 	}
 
+	mkStation := func(name string, capacity float64) *station {
+		st := newStation(r.sim, name, capacity, r.onStationDone)
+		if r.arena != nil {
+			st.newJob = r.newJobRef
+		}
+		return st
+	}
 	newHost := func(id int, services []int, capability func(string) float64) *host {
 		h := &host{id: id, services: services, up: true, capability: capability}
 		resources := resourceSet(pick(cfg.Services, services))
@@ -153,7 +169,7 @@ func (r *runner) build() {
 				for _, res := range resources {
 					cap := shares[pos] * (1 - cfg.Alloc.Overhead()) * capability(res)
 					name := fmt.Sprintf("h%d/vm%d/%s", id, pos, res)
-					h.vmStations[pos][res] = newStation(r.sim, name, cap, r.onStationDone)
+					h.vmStations[pos][res] = mkStation(name, cap)
 				}
 			}
 		} else {
@@ -161,7 +177,7 @@ func (r *runner) build() {
 			h.stations = map[string]*station{}
 			for _, res := range resources {
 				name := fmt.Sprintf("h%d/%s", id, res)
-				h.stations[res] = newStation(r.sim, name, capability(res), r.onStationDone)
+				h.stations[res] = mkStation(name, capability(res))
 			}
 		}
 		return h
@@ -341,13 +357,9 @@ func (r *runner) dispatch(svc, client int) {
 		}
 		return
 	}
-	req := &request{
-		service: svc,
-		host:    h,
-		arrived: now,
-		counted: counted,
-		client:  client,
-	}
+	req := r.newRequest()
+	req.service, req.host, req.arrived = svc, h, now
+	req.counted, req.client = counted, client
 	r.admit(req)
 }
 
@@ -452,6 +464,30 @@ func (r *runner) completeRequest(req *request) {
 	if req.client >= 0 {
 		r.clientThink(req.service, req.client)
 	}
+	// A completed request has drained every station (left == 0), so its
+	// whole object graph is free for reuse. Failure-path requests never
+	// get here and stay with the garbage collector.
+	if r.arena != nil && !req.dead {
+		r.arena.recycleRequest(req)
+	}
+}
+
+// newRequest hands out a zeroed request, recycled when an arena is
+// attached.
+func (r *runner) newRequest() *request {
+	if r.arena != nil {
+		return r.arena.getRequest()
+	}
+	return &request{}
+}
+
+// newJobRef hands out a zeroed jobRef, recycled when an arena is
+// attached.
+func (r *runner) newJobRef() *jobRef {
+	if r.arena != nil {
+		return r.arena.getJobRef()
+	}
+	return &jobRef{}
 }
 
 // startFailures arms the host failure/repair processes.

@@ -66,6 +66,7 @@ type station struct {
 	completeFn func()       // cached method value; avoids an alloc per reschedule
 	doneBuf    []*jobRef    // scratch for complete; reused across events
 	onDone     func(*request, *station)
+	newJob     func() *jobRef // optional arena allocator; nil = plain alloc
 }
 
 func newStation(sim *desim.Simulator, name string, capacity float64, onDone func(*request, *station)) *station {
@@ -127,7 +128,13 @@ func (st *station) setCapacity(c float64) {
 // add deposits work for req and returns the job reference.
 func (st *station) add(req *request, work float64) *jobRef {
 	st.advance()
-	j := &jobRef{req: req, threshold: st.V + math.Max(work, 0), seq: st.seq}
+	var j *jobRef
+	if st.newJob != nil {
+		j = st.newJob()
+	} else {
+		j = &jobRef{}
+	}
+	j.req, j.threshold, j.seq = req, st.V+math.Max(work, 0), st.seq
 	st.seq++
 	st.pushJob(j)
 	st.busy.Set(st.sim.Now(), 1)

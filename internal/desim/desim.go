@@ -176,6 +176,35 @@ func New() *Simulator {
 	return &Simulator{}
 }
 
+// Reset returns the simulator to its initial state — clock at 0, empty
+// queue, zeroed counters — while keeping the arena, free-list and queue
+// capacity, so a reused simulator runs its next workload without
+// re-growing event storage. Handles from before the Reset go inert: every
+// in-use slot's generation advances, exactly as if its event had fired.
+// A reset simulator is indistinguishable from a fresh one to its events
+// (the clock and the FIFO tie-breaking sequence restart at zero), so
+// reuse never changes simulation results.
+func (s *Simulator) Reset() {
+	for i := range s.arena {
+		ev := &s.arena[i]
+		if ev.state != stateFree {
+			ev.gen++
+			ev.state = stateFree
+		}
+		ev.fn = nil
+	}
+	// Refill the free list high-to-low: pops come from the tail, so a
+	// reused simulator hands out slots in the same 0, 1, 2, ... order a
+	// fresh one grows them.
+	s.free = s.free[:0]
+	for i := len(s.arena) - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	s.queue = s.queue[:0]
+	s.now, s.seq, s.cancelled, s.stopped = 0, 0, 0, false
+	s.fired, s.scheduled, s.cancelledTotal, s.compactions, s.maxQueue = 0, 0, 0, 0, 0
+}
+
 // Now reports the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
 

@@ -179,6 +179,78 @@ func TestCascadingEvents(t *testing.T) {
 	}
 }
 
+// resetWorkload is a deterministic event script touching scheduling,
+// relative scheduling, cancellation and FIFO ties; it returns the fire
+// trace so runs on different simulators can be compared exactly.
+func resetWorkload(s *Simulator) []Time {
+	var trace []Time
+	record := func() { trace = append(trace, s.Now()) }
+	s.At(3, record)
+	s.At(1, func() {
+		record()
+		s.After(0.5, record)
+	})
+	s.At(2, record) // FIFO tie with the cancelled twin below
+	s.At(2, record).Cancel()
+	s.RunAll()
+	return trace
+}
+
+// TestResetMatchesFresh: a reset simulator must be indistinguishable from
+// a fresh one — same fire order, same clock, same counters — while keeping
+// its arena (that is the whole point of reuse).
+func TestResetMatchesFresh(t *testing.T) {
+	want := resetWorkload(New())
+
+	s := New()
+	resetWorkload(s)
+	slots := s.Stats().ArenaSlots
+	if slots == 0 {
+		t.Fatal("workload grew no arena slots")
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Stats().Fired != 0 || s.Stats().Scheduled != 0 {
+		t.Fatalf("Reset left state behind: now=%g pending=%d stats=%+v", s.Now(), s.Pending(), s.Stats())
+	}
+	if got := s.Stats().ArenaSlots; got != slots {
+		t.Fatalf("Reset resized the arena: %d -> %d slots", slots, got)
+	}
+
+	got := resetWorkload(s)
+	if len(got) != len(want) {
+		t.Fatalf("reset run fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire trace diverged at %d: reset=%v fresh=%v", i, got, want)
+		}
+	}
+}
+
+// TestResetInertsStaleHandles: handles created before a Reset must neither
+// report pending nor cancel whatever event now occupies their old slot.
+func TestResetInertsStaleHandles(t *testing.T) {
+	s := New()
+	stale := s.At(5, func() { t.Error("event from before Reset fired") })
+	s.Reset()
+	if stale.Pending() {
+		t.Fatal("stale handle still pending after Reset")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled something after Reset")
+	}
+
+	// The stale handle's slot is recycled by the next schedule; the stale
+	// handle must not be able to kill the new occupant.
+	fired := false
+	s.At(1, func() { fired = true })
+	stale.Cancel()
+	s.RunAll()
+	if !fired {
+		t.Fatal("stale handle cancelled a post-Reset event")
+	}
+}
+
 func TestTimeAverage(t *testing.T) {
 	var a TimeAverage
 	a.Set(0, 1)  // value 1 on [0, 10)

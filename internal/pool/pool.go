@@ -52,10 +52,16 @@ func (p *Pool) Size() int {
 }
 
 // Acquire takes one slot, blocking until one frees up or ctx is done. On a
-// nil pool it returns immediately.
+// nil pool it returns immediately. A done context always loses: an
+// already-cancelled Acquire never admits work, even when a slot is free —
+// the select below would otherwise pick either branch at random, letting
+// work start after shutdown began.
 func (p *Pool) Acquire(ctx context.Context) error {
 	if p == nil {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	select {
 	case p.slots <- struct{}{}:
@@ -73,13 +79,19 @@ func (p *Pool) Acquire(ctx context.Context) error {
 	}
 }
 
-// Release returns one slot. Calls must pair with a successful Acquire.
+// Release returns one slot. Calls must pair with a successful Acquire; an
+// unpaired Release panics immediately instead of corrupting the slot
+// count and deadlocking some later, unrelated Acquire.
 func (p *Pool) Release() {
 	if p == nil {
 		return
 	}
-	p.active.Add(-1)
-	<-p.slots
+	select {
+	case <-p.slots:
+		p.active.Add(-1)
+	default:
+		panic("pool: Release without a matching Acquire")
+	}
 }
 
 // Run acquires a slot for the duration of fn.

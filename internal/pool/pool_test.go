@@ -93,6 +93,42 @@ func TestAcquireCancellation(t *testing.T) {
 	}
 }
 
+// TestAcquireDoneContextNeverAdmits: a done context must lose even when
+// slots are free — work must never start after shutdown began. Before the
+// ctx.Err() pre-check, the select picked either ready branch at random, so
+// roughly half of these calls would have been admitted.
+func TestAcquireDoneContextNeverAdmits(t *testing.T) {
+	p, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 100; i++ {
+		if err := p.Acquire(ctx); err != context.Canceled {
+			t.Fatalf("Acquire %d with free slots and done ctx: %v, want context.Canceled", i, err)
+		}
+	}
+	if p.Active() != 0 || p.Units() != 0 {
+		t.Fatalf("done-context Acquires leaked state: active=%d units=%d", p.Active(), p.Units())
+	}
+}
+
+// TestUnpairedReleasePanics: an unbalanced Release must fail loudly at the
+// bug, not grow the slot count and deadlock a later Acquire.
+func TestUnpairedReleasePanics(t *testing.T) {
+	p, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unpaired Release did not panic")
+		}
+	}()
+	p.Release()
+}
+
 func TestNilPoolNoOps(t *testing.T) {
 	var p *Pool
 	if err := p.Acquire(context.Background()); err != nil {

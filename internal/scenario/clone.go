@@ -1,0 +1,108 @@
+package scenario
+
+import "repro/internal/stats"
+
+// Clone returns a deep copy of the scenario: every pointer, slice and map
+// reachable from it is duplicated, so mutating the copy (axis stamping in
+// the sweep expander, ApplyDefaults on a point) never aliases the
+// original. Cloning a scenario and marshaling it yields the same bytes as
+// marshaling the original.
+func (s Scenario) Clone() Scenario {
+	if s.Services != nil {
+		services := make([]Service, len(s.Services))
+		for i := range s.Services {
+			services[i] = s.Services[i].clone()
+		}
+		s.Services = services
+	}
+	s.Fleet = s.Fleet.clone()
+	if s.Alloc != nil {
+		alloc := *s.Alloc
+		alloc.Weights = append([]float64(nil), s.Alloc.Weights...)
+		alloc.Priorities = append([]int(nil), s.Alloc.Priorities...)
+		s.Alloc = &alloc
+	}
+	if s.Warmup != nil {
+		w := *s.Warmup
+		s.Warmup = &w
+	}
+	if s.Failures != nil {
+		f := *s.Failures
+		s.Failures = &f
+	}
+	if s.Power != nil {
+		p := *s.Power
+		s.Power = &p
+	}
+	if s.Replication != nil {
+		r := *s.Replication
+		s.Replication = &r
+	}
+	return s
+}
+
+func (s Service) clone() Service {
+	s.Profile = s.Profile.clone()
+	if s.Overhead != nil {
+		o := s.Overhead.clone()
+		s.Overhead = &o
+	}
+	if s.Arrivals != nil {
+		a := s.Arrivals.Clone()
+		s.Arrivals = &a
+	}
+	if s.ThinkTime != nil {
+		t := s.ThinkTime.Clone()
+		s.ThinkTime = &t
+	}
+	return s
+}
+
+func (p Profile) clone() Profile {
+	if p.Demands != nil {
+		m := make(map[string]stats.DistSpec, len(p.Demands))
+		for k, v := range p.Demands {
+			m[k] = v.Clone()
+		}
+		p.Demands = m
+	}
+	if p.DemandSCV != nil {
+		v := *p.DemandSCV
+		p.DemandSCV = &v
+	}
+	return p
+}
+
+func (o Overhead) clone() Overhead {
+	if o.Curves != nil {
+		m := make(map[string]Curve, len(o.Curves))
+		for k, v := range o.Curves {
+			m[k] = v
+		}
+		o.Curves = m
+	}
+	o.CPUResources = append([]string(nil), o.CPUResources...)
+	return o
+}
+
+func (f Fleet) clone() Fleet {
+	if f.Classes != nil {
+		classes := make([]HostClass, len(f.Classes))
+		for i := range f.Classes {
+			classes[i] = f.Classes[i].clone()
+		}
+		f.Classes = classes
+	}
+	return f
+}
+
+func (h HostClass) clone() HostClass {
+	if h.Capability != nil {
+		m := make(map[string]float64, len(h.Capability))
+		for k, v := range h.Capability {
+			m[k] = v
+		}
+		h.Capability = m
+	}
+	return h
+}

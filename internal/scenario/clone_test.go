@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestCloneDeepCopies: Clone of every example scenario (defaults applied,
+// so the optional pointer sections are populated) must be structurally
+// equal to the original while sharing no mutable storage with it — the
+// sweep expander hands each point a clone and mutates it freely.
+func TestCloneDeepCopies(t *testing.T) {
+	for _, file := range exampleFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ParseBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		s.ApplyDefaults()
+		c := s.Clone()
+		if !reflect.DeepEqual(s, c) {
+			t.Fatalf("%s: clone is not equal to the original", file)
+		}
+		if err := sharedStorage(reflect.ValueOf(&s).Elem(), reflect.ValueOf(&c).Elem(), "scenario"); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+	}
+}
+
+// sharedStorage walks two equal values in lockstep and reports any mutable
+// storage — pointer, map, populated slice — present in both: shared storage
+// means writing through the clone would corrupt the original.
+func sharedStorage(a, b reflect.Value, path string) error {
+	switch a.Kind() {
+	case reflect.Pointer:
+		if a.IsNil() {
+			return nil
+		}
+		if a.Pointer() == b.Pointer() {
+			return fmt.Errorf("%s: clone shares a pointer with the original", path)
+		}
+		return sharedStorage(a.Elem(), b.Elem(), path)
+	case reflect.Map:
+		if a.IsNil() {
+			return nil
+		}
+		if a.Pointer() == b.Pointer() {
+			return fmt.Errorf("%s: clone shares a map with the original", path)
+		}
+		iter := a.MapRange()
+		for iter.Next() {
+			k := iter.Key()
+			if err := sharedStorage(iter.Value(), b.MapIndex(k), fmt.Sprintf("%s[%v]", path, k)); err != nil {
+				return err
+			}
+		}
+	case reflect.Slice:
+		if a.Len() == 0 {
+			return nil
+		}
+		if a.Pointer() == b.Pointer() {
+			return fmt.Errorf("%s: clone shares a slice with the original", path)
+		}
+		for i := 0; i < a.Len(); i++ {
+			if err := sharedStorage(a.Index(i), b.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			if err := sharedStorage(a.Field(i), b.Field(i), path+"."+a.Type().Field(i).Name); err != nil {
+				return err
+			}
+		}
+	case reflect.Interface:
+		if a.IsNil() {
+			return nil
+		}
+		return sharedStorage(a.Elem(), b.Elem(), path)
+	}
+	return nil
+}

@@ -60,6 +60,16 @@ type DistSpec struct {
 // ErrInvalidSpec reports an unusable declarative spec.
 var ErrInvalidSpec = fmt.Errorf("stats: invalid distribution spec")
 
+// Clone returns a deep copy: mutating the copy (including a nested
+// "scaled" chain) never touches the original.
+func (s DistSpec) Clone() DistSpec {
+	if s.Of != nil {
+		of := s.Of.Clone()
+		s.Of = &of
+	}
+	return s
+}
+
 func finitePositive(v float64) bool {
 	return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 )
 
@@ -29,6 +30,62 @@ func BenchmarkSweepExpand(b *testing.B) {
 		}
 		if len(points) != 4 {
 			b.Fatal("bad expansion")
+		}
+	}
+}
+
+// reproBenchSpec is a deliberately tiny whole-pipeline workload: two
+// points, two replications each, sub-millisecond in total, so a fixed
+// 20000x simbench run stays in seconds.
+const reproBenchSpec = `{
+  "name": "macro",
+  "base": {
+    "services": [
+      {
+        "profile": { "preset": "specweb-ecommerce" },
+        "overhead": { "preset": "web" },
+        "arrivals": { "kind": "poisson", "rate": 10 }
+      }
+    ],
+    "fleet": { "hosts": 2 },
+    "horizon": 2,
+    "warmup": 0.5,
+    "seed": 7,
+    "replication": { "reps": 2, "workers": 1 }
+  },
+  "axes": [
+    { "path": "services.0.arrivals.rate", "values": [10, 20] }
+  ]
+}`
+
+// BenchmarkRepro measures the pipeline end to end — spec parse, compiled
+// axis expansion, engine orchestration, replication fan-out, cluster
+// simulation and summarization — the unit of work repro and the
+// experiments pay per sweep point. Regressions invisible to the micro
+// benchmarks (per-run rebuild cost, arena reuse, orchestration overhead)
+// land here. The engine persists across iterations, as it does across a
+// repro run, so arena reuse is on the measured path; the cache is off so
+// every iteration simulates.
+func BenchmarkRepro(b *testing.B) {
+	eng := NewEngine(nil, nil, nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := ParseSpecBytes([]byte(reproBenchSpec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err := sp.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.RunPoints(ctx, points)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 2 {
+			b.Fatal("bad point count")
 		}
 	}
 }

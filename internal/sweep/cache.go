@@ -106,11 +106,25 @@ func (c *Cache) Put(key string, value any) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// CreateTemp's 0600 would make the entry unreadable for other users
+	// sharing the cache directory; entries are world-readable like any
+	// other artifact.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), c.path(key))
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		// A failed rename (read-only target, cross-device dir swap) must
+		// not litter the cache with put-* files.
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Key hashes arbitrary string parts (plus the engine version) into a cache

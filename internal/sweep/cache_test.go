@@ -1,0 +1,61 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPutEntriesWorldReadable: cache entries under a shared artifacts/cache
+// must carry 0644, not the 0600 os.CreateTemp starts the temp file with —
+// a cache another user cannot read is a cache that silently recomputes.
+func TestPutEntriesWorldReadable(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("cache-test", "permissions")
+	if err := c.Put(key, map[string]int{"answer": 42}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o644 {
+		t.Fatalf("cache entry mode = %04o, want 0644", got)
+	}
+	var out map[string]int
+	if !c.Get(key, &out) || out["answer"] != 42 {
+		t.Fatalf("round-trip failed: got %v", out)
+	}
+}
+
+// TestPutRenameFailureLeavesNoTemp: when the final rename fails, Put must
+// report the error and remove its temp file — the pre-fix behavior left a
+// put-* orphan in the shard directory on every failed write.
+func TestPutRenameFailureLeavesNoTemp(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("cache-test", "rename-failure")
+	// Occupy the entry path with a non-empty directory so os.Rename fails.
+	if err := os.MkdirAll(filepath.Join(c.path(key), "blocker"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, 1); err == nil {
+		t.Fatal("Put over a directory succeeded")
+	}
+	shard := filepath.Dir(c.path(key))
+	entries, err := os.ReadDir(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "put-") {
+			t.Fatalf("failed Put left temp file %s behind", e.Name())
+		}
+	}
+}

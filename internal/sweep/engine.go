@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,19 +18,23 @@ import (
 // N slots means at most N concurrently executing simulations no matter how
 // many points or experiments are in flight.
 type Engine struct {
-	pool  *pool.Pool
-	cache *Cache
-	reg   *obs.Registry
-	scope string
+	pool   *pool.Pool
+	cache  *Cache
+	reg    *obs.Registry
+	arenas *cluster.ArenaPool
+	scope  string
 }
 
 // NewEngine builds an engine over the given shared pool (nil = unbounded),
-// cache (nil = always recompute) and registry (nil = a private one).
+// cache (nil = always recompute) and registry (nil = a private one). The
+// engine owns one arena pool shared by every point it runs, so
+// consecutive points reuse simulator event storage instead of re-growing
+// it (scoped views share the pool too).
 func NewEngine(p *pool.Pool, c *Cache, reg *obs.Registry) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Engine{pool: p, cache: c, reg: reg}
+	return &Engine{pool: p, cache: c, reg: reg, arenas: cluster.NewArenaPool()}
 }
 
 // Scoped returns a view of the engine whose progress counters carry the
@@ -64,6 +69,9 @@ func (e *Engine) metric(name string) string {
 // via context cancellation. Per-point progress lands in the engine
 // registry as sweep[/scope]/points_done, cache_hits and cache_misses.
 func (e *Engine) RunPoints(ctx context.Context, points []Point) ([]PointResult, error) {
+	if err := validateIndices(points); err != nil {
+		return nil, err
+	}
 	hits := e.reg.Counter(e.metric("cache_hits"))
 	misses := e.reg.Counter(e.metric("cache_misses"))
 	done := e.reg.Counter(e.metric("points_done"))
@@ -141,12 +149,15 @@ func (e *Engine) runPoint(ctx context.Context, p Point, hits, misses, writeErrs 
 	}
 	rcfg := c.Replication
 	rcfg.Pool = e.pool
+	c.Cluster.Arenas = e.arenas
 
 	set, err := cluster.Replications(runCtx, c.Cluster, rcfg)
 	if err != nil {
 		// A per-point wall-clock timeout keeps the completed prefix (that
-		// is what TimeoutSec means); anything else aborts the point.
-		timedOut := c.Timeout > 0 && ctx.Err() == nil && set != nil && len(set.Results) > 0
+		// is what TimeoutSec means); anything else — including the parent
+		// context's own deadline or cancellation arriving first — aborts
+		// the point.
+		timedOut := timeoutKeepsPrefix(runCtx, ctx, err) && set != nil && len(set.Results) > 0
 		if !timedOut {
 			return PointResult{}, err
 		}
@@ -160,6 +171,45 @@ func (e *Engine) runPoint(ctx context.Context, p Point, hits, misses, writeErrs 
 		}
 	}
 	return res, nil
+}
+
+// validateIndices checks that the points' Index fields form exactly
+// {0, ..., len-1}: results are returned in index order, so a gap or a
+// duplicate (e.g. a hand-built list re-running only failed points) would
+// otherwise index out of range or silently overwrite a neighbor.
+func validateIndices(points []Point) error {
+	seen := make([]bool, len(points))
+	for i := range points {
+		idx := points[i].Index
+		if idx < 0 || idx >= len(points) {
+			return fmt.Errorf("%w: point %d has index %d, want one of 0..%d",
+				ErrInvalidSpec, i, idx, len(points)-1)
+		}
+		if seen[idx] {
+			return fmt.Errorf("%w: duplicate point index %d", ErrInvalidSpec, idx)
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+// timeoutKeepsPrefix classifies a replication-run error: true when the
+// point's own wall-clock deadline fired, which keeps the completed
+// replication prefix. The decision reads the point's runCtx, not the
+// parent: a sibling failure cancelling the parent after this point's
+// deadline has already fired must not turn a legitimate timeout into a
+// hard error. A deadline on the parent itself (a global abort) is never
+// the point's own timeout.
+func timeoutKeepsPrefix(runCtx, parent context.Context, err error) bool {
+	if runCtx == parent {
+		// No per-point timeout was armed.
+		return false
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return runCtx.Err() == context.DeadlineExceeded &&
+		parent.Err() != context.DeadlineExceeded
 }
 
 // Go runs fn(0..n-1) concurrently, each call holding one pool slot, and

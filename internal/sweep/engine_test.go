@@ -3,10 +3,13 @@ package sweep
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/pool"
 	"repro/internal/scenario"
@@ -103,6 +106,104 @@ func TestCacheColdWarm(t *testing.T) {
 	}
 	if string(mustJSON(t, cold)) != string(mustJSON(t, warm)) {
 		t.Fatal("warm rerun differs from cold run")
+	}
+}
+
+// TestRunPointsRejectsBadIndices: results land in a slice indexed by
+// Point.Index, so a hand-built point list with gaps or duplicates must be
+// rejected up front rather than silently overwriting a neighbor (or
+// panicking out of range).
+func TestRunPointsRejectsBadIndices(t *testing.T) {
+	points := expandTestSpec(t)
+	e := NewEngine(nil, nil, nil)
+	ctx := context.Background()
+
+	cases := []struct {
+		name   string
+		mutate func([]Point)
+	}{
+		{"duplicate", func(ps []Point) { ps[1].Index = 0 }},
+		{"gap", func(ps []Point) { ps[1].Index = len(ps) }},
+		{"negative", func(ps []Point) { ps[0].Index = -1 }},
+	}
+	for _, tc := range cases {
+		bad := append([]Point(nil), points...)
+		tc.mutate(bad)
+		if _, err := e.RunPoints(ctx, bad); !errors.Is(err, ErrInvalidSpec) {
+			t.Fatalf("%s indices: err = %v, want ErrInvalidSpec", tc.name, err)
+		}
+	}
+
+	// A subset of a larger expansion keeps its original indices; it must be
+	// rejected, not have its results shifted down.
+	if _, err := e.RunPoints(ctx, points[1:3]); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("subset with original indices: err = %v, want ErrInvalidSpec", err)
+	}
+}
+
+// TestTimeoutKeepsPrefixClassifier pins the decision table for "did this
+// point's own wall-clock deadline fire": only that case keeps the
+// completed replication prefix. Real contexts are used throughout —
+// the classifier reads live ctx.Err() state, not error strings.
+func TestTimeoutKeepsPrefixClassifier(t *testing.T) {
+	background := context.Background()
+
+	// No per-point timeout armed: never a prefix-keeping timeout, whatever
+	// the error says.
+	if timeoutKeepsPrefix(background, background, context.DeadlineExceeded) {
+		t.Fatal("no timeout armed classified as point timeout")
+	}
+
+	// The point's own deadline fired while the parent stayed alive: the
+	// canonical timeout, including when the error arrives wrapped.
+	parent, cancelParent := context.WithCancel(background)
+	defer cancelParent()
+	runCtx, cancelRun := context.WithTimeout(parent, time.Nanosecond)
+	defer cancelRun()
+	<-runCtx.Done()
+	if !timeoutKeepsPrefix(runCtx, parent, context.DeadlineExceeded) {
+		t.Fatal("own deadline with live parent not classified as timeout")
+	}
+	if !timeoutKeepsPrefix(runCtx, parent, fmt.Errorf("replication 3: %w", context.DeadlineExceeded)) {
+		t.Fatal("wrapped deadline error not classified as timeout")
+	}
+	if timeoutKeepsPrefix(runCtx, parent, errors.New("rng exhausted")) {
+		t.Fatal("unrelated error classified as timeout")
+	}
+
+	// A sibling failure cancels the parent after this point's deadline has
+	// already fired: still the point's own timeout. This is the case the
+	// old `ctx.Err() == nil` check got wrong — it turned a legitimate
+	// timeout into a hard error whenever any sibling failed concurrently.
+	cancelParent()
+	if runCtx.Err() != context.DeadlineExceeded {
+		t.Fatalf("runCtx.Err() = %v after parent cancel, want DeadlineExceeded", runCtx.Err())
+	}
+	if !timeoutKeepsPrefix(runCtx, parent, context.DeadlineExceeded) {
+		t.Fatal("deadline-then-parent-cancel not classified as timeout")
+	}
+
+	// The parent cancelled first: the deadline never got to fire on its
+	// own, so the point aborts.
+	parent2, cancelParent2 := context.WithCancel(background)
+	runCtx2, cancelRun2 := context.WithTimeout(parent2, time.Hour)
+	defer cancelRun2()
+	cancelParent2()
+	<-runCtx2.Done()
+	if timeoutKeepsPrefix(runCtx2, parent2, runCtx2.Err()) {
+		t.Fatal("parent cancellation classified as point timeout")
+	}
+
+	// The parent's own deadline (a global abort) is never the point's
+	// timeout, even though both contexts report DeadlineExceeded.
+	parent3, cancelParent3 := context.WithTimeout(background, time.Nanosecond)
+	defer cancelParent3()
+	<-parent3.Done()
+	runCtx3, cancelRun3 := context.WithTimeout(parent3, time.Hour)
+	defer cancelRun3()
+	<-runCtx3.Done()
+	if timeoutKeepsPrefix(runCtx3, parent3, context.DeadlineExceeded) {
+		t.Fatal("global deadline classified as point timeout")
 	}
 }
 

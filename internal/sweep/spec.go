@@ -23,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 
 	"repro/internal/scenario"
@@ -128,16 +127,22 @@ func (sp Spec) Validate() error {
 // base scenario's (default-resolved) seed — unless an axis sweeps "seed"
 // itself, which then wins. Every point is validated; the first invalid
 // point aborts the expansion.
+//
+// Axis paths are compiled against the scenario schema once per spec (see
+// setters.go); each point then costs one deep clone of the base plus a
+// typed field write per axis, with no per-point JSON round-trip.
 func (sp Spec) Expand() ([]Point, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
 
-	// Work on the base's JSON form so axis paths address exactly the
-	// fields a scenario file exposes, with the same names.
-	baseJSON, err := json.Marshal(sp.Base)
-	if err != nil {
-		return nil, fmt.Errorf("%w: encoding base: %v", ErrInvalidSpec, err)
+	axes := make([]compiledAxis, len(sp.Axes))
+	for i, ax := range sp.Axes {
+		ca, err := compileAxis(ax)
+		if err != nil {
+			return nil, fmt.Errorf("%w: axis %q: %v", ErrInvalidSpec, ax.Path, err)
+		}
+		axes[i] = ca
 	}
 
 	root := sp.Base.Seed
@@ -155,39 +160,27 @@ func (sp Spec) Expand() ([]Point, error) {
 
 	points := make([]Point, 0, sp.Size())
 	coords := make([]int, len(sp.Axes))
+	labels := make([]string, len(sp.Axes))
 	for {
-		var doc map[string]any
-		if err := json.Unmarshal(baseJSON, &doc); err != nil {
-			return nil, fmt.Errorf("%w: decoding base: %v", ErrInvalidSpec, err)
-		}
-		var labels []string
-		for a, ax := range sp.Axes {
-			v := ax.Values[coords[a]]
-			if err := setPath(doc, ax.Path, v); err != nil {
-				return nil, fmt.Errorf("%w: axis %q: %v", ErrInvalidSpec, ax.Path, err)
+		s := sp.Base.Clone()
+		for a := range axes {
+			ca := &axes[a]
+			labels[a] = ca.labels[coords[a]]
+			if err := ca.apply(&s, coords[a]); err != nil {
+				return nil, fmt.Errorf("%w: axis %q: %v", ErrInvalidSpec, ca.path, err)
 			}
-			labels = append(labels, fmt.Sprintf("%s=%s", ax.Path, compactJSON(v)))
 		}
-		blob, err := json.Marshal(doc)
-		if err != nil {
-			return nil, fmt.Errorf("%w: encoding point %d: %v", ErrInvalidSpec, len(points), err)
-		}
-		// Strict re-decode: an axis path that invented a field the schema
-		// does not know is a typo, not a new parameter.
-		s, err := scenario.ParseBytes(blob)
-		if err != nil {
-			return nil, fmt.Errorf("%w: point %d (%s): %v", ErrInvalidSpec, len(points), strings.Join(labels, " "), err)
-		}
+		label := strings.Join(labels, " ")
 		if !seedSwept {
 			s.Seed = PointSeed(root, len(points))
 		}
 		s.ApplyDefaults()
 		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("point %d (%s): %w", len(points), strings.Join(labels, " "), err)
+			return nil, fmt.Errorf("point %d (%s): %w", len(points), label, err)
 		}
 		points = append(points, Point{
 			Index:    len(points),
-			Label:    strings.Join(labels, " "),
+			Label:    label,
 			Scenario: s,
 		})
 
@@ -221,49 +214,6 @@ func PointSeed(root uint64, index int) uint64 {
 		z = 1
 	}
 	return z
-}
-
-// setPath sets a dotted path inside a decoded JSON document. Integer
-// segments index arrays (which must already be long enough); name segments
-// traverse or create objects.
-func setPath(doc map[string]any, path string, value any) error {
-	segs := strings.Split(path, ".")
-	var cur any = doc
-	for i, seg := range segs {
-		last := i == len(segs)-1
-		if idx, err := strconv.Atoi(seg); err == nil {
-			arr, ok := cur.([]any)
-			if !ok {
-				return fmt.Errorf("segment %q indexes a non-array", seg)
-			}
-			if idx < 0 || idx >= len(arr) {
-				return fmt.Errorf("index %d out of range (array has %d elements)", idx, len(arr))
-			}
-			if last {
-				arr[idx] = value
-				return nil
-			}
-			cur = arr[idx]
-			continue
-		}
-		obj, ok := cur.(map[string]any)
-		if !ok {
-			return fmt.Errorf("segment %q addresses into a non-object", seg)
-		}
-		if last {
-			obj[seg] = value
-			return nil
-		}
-		child, ok := obj[seg]
-		if !ok || child == nil {
-			next := map[string]any{}
-			obj[seg] = next
-			cur = next
-			continue
-		}
-		cur = child
-	}
-	return nil
 }
 
 // compactJSON renders an axis value for labels.

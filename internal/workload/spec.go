@@ -57,6 +57,30 @@ type ArrivalSpec struct {
 // ErrInvalidSpec reports an unusable declarative arrival spec.
 var ErrInvalidSpec = fmt.Errorf("workload: invalid arrival spec")
 
+// Clone returns a deep copy: mutating the copy (nested distribution
+// specs, NHPP rate tables, superpose parts) never touches the original.
+func (s ArrivalSpec) Clone() ArrivalSpec {
+	if s.Inter != nil {
+		inter := s.Inter.Clone()
+		s.Inter = &inter
+	}
+	if s.Gap != nil {
+		gap := s.Gap.Clone()
+		s.Gap = &gap
+	}
+	if s.Rates != nil {
+		s.Rates = append([]float64(nil), s.Rates...)
+	}
+	if s.Parts != nil {
+		parts := make([]ArrivalSpec, len(s.Parts))
+		for i := range s.Parts {
+			parts[i] = s.Parts[i].Clone()
+		}
+		s.Parts = parts
+	}
+	return s
+}
+
 func specFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func specPositive(v float64) bool { return v > 0 && specFinite(v) }
