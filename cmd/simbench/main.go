@@ -1,13 +1,14 @@
 // Command simbench runs the simulation-core benchmarks — the
 // microbenchmarks (BenchmarkStationHighOccupancy, BenchmarkDesimSchedule*,
-// BenchmarkSweep*) plus the whole-pipeline macro benchmark BenchmarkRepro —
-// through `go test -bench` and records ns/op, B/op and allocs/op in a JSON
-// file, so the performance trajectory of the hot path is tracked in-repo
-// from PR to PR.
+// BenchmarkTimingWheel, BenchmarkSweep*) plus the whole-pipeline macro
+// benchmarks BenchmarkRepro and BenchmarkShardedRun — through `go test
+// -bench` and records ns/op, B/op, allocs/op and (for the whole-run
+// benchmarks) events/s in a JSON file, so the performance trajectory of
+// the hot path is tracked in-repo from PR to PR.
 //
 // Usage:
 //
-//	go run ./cmd/simbench [-o BENCH_simcore.json] [-benchtime 20000x]
+//	go run ./cmd/simbench [-o BENCH_simcore.json] [-benchtime 20000x] [-macrotime 30x]
 package main
 
 import (
@@ -31,6 +32,9 @@ type Record struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// EventsPerSec is the simulator's aggregate event rate, reported only
+	// by the whole-run benchmarks (BenchmarkShardedRun).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // File is the BENCH_simcore.json layout: the legacy top-level fields
@@ -47,23 +51,23 @@ type File struct {
 
 // benchLine matches `go test -bench -benchmem` result rows, e.g.
 // BenchmarkStationHighOccupancy/k=1000-8  20000  215.2 ns/op  32 B/op  1 allocs/op
+// with an optional custom events/s metric between ns/op and the -benchmem
+// columns, e.g.
+// BenchmarkShardedRun/shards=4-8  30  49581163 ns/op  3011370 events/s  ...
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.eE+]+) events/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-func main() {
-	out := flag.String("o", "BENCH_simcore.json", "output file")
-	benchtime := flag.String("benchtime", "20000x", "go test -benchtime value (a fixed count keeps runs comparable)")
-	flag.Parse()
-
-	man := obs.NewManifest("simbench", 0)
-	man.Config = map[string]string{"benchtime": *benchtime}
-
-	args := []string{
-		"test", "-run", "^$",
-		"-bench", "BenchmarkStationHighOccupancy|BenchmarkDesimSchedule|BenchmarkSweep|BenchmarkRepro",
-		"-benchmem", "-benchtime", *benchtime,
-		"./internal/cluster", "./internal/desim", "./internal/sweep",
+// runBench executes one `go test -bench` invocation and parses its rows.
+// benchmem is off for the parallel whole-run benchmark: its allocation
+// counts jitter with goroutine scheduling, and the allocs gate treats any
+// increase as a regression.
+func runBench(pattern, benchtime string, benchmem bool, pkgs ...string) []Record {
+	args := []string{"test", "-run", "^$", "-bench", pattern}
+	if benchmem {
+		args = append(args, "-benchmem")
 	}
+	args = append(args, "-benchtime", benchtime)
+	args = append(args, pkgs...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -80,21 +84,46 @@ func main() {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
+		var eps float64
 		var bytes, allocs int64
 		if m[4] != "" {
-			bytes, _ = strconv.ParseInt(m[4], 10, 64)
+			eps, _ = strconv.ParseFloat(m[4], 64)
 		}
 		if m[5] != "" {
-			allocs, _ = strconv.ParseInt(m[5], 10, 64)
+			bytes, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			allocs, _ = strconv.ParseInt(m[6], 10, 64)
 		}
 		records = append(records, Record{
-			Name:        m[1],
-			Iterations:  iters,
-			NsPerOp:     ns,
-			BytesPerOp:  bytes,
-			AllocsPerOp: allocs,
+			Name:         m[1],
+			Iterations:   iters,
+			NsPerOp:      ns,
+			BytesPerOp:   bytes,
+			AllocsPerOp:  allocs,
+			EventsPerSec: eps,
 		})
 	}
+	return records
+}
+
+func main() {
+	out := flag.String("o", "BENCH_simcore.json", "output file")
+	benchtime := flag.String("benchtime", "20000x", "go test -benchtime value for the microbenchmarks (a fixed count keeps runs comparable)")
+	macrotime := flag.String("macrotime", "30x", "go test -benchtime value for the whole-run BenchmarkShardedRun (tens of ms per op)")
+	flag.Parse()
+
+	man := obs.NewManifest("simbench", 0)
+	man.Config = map[string]string{"benchtime": *benchtime, "macrotime": *macrotime}
+
+	records := runBench(
+		"BenchmarkStationHighOccupancy|BenchmarkDesimSchedule|BenchmarkTimingWheel|BenchmarkSweep|BenchmarkRepro",
+		*benchtime, true,
+		"./internal/cluster", "./internal/desim", "./internal/sweep")
+	// The whole-run shard benchmark is ~10^5 slower per op than the
+	// microbenchmarks; a fixed 20000x count would run for hours, so it
+	// gets its own much smaller fixed count.
+	records = append(records, runBench("BenchmarkShardedRun", *macrotime, false, "./internal/cluster")...)
 	if len(records) == 0 {
 		fmt.Fprintln(os.Stderr, "simbench: no benchmark results parsed")
 		os.Exit(1)
@@ -110,6 +139,9 @@ func main() {
 		reg.Gauge(r.Name + "/ns_per_op").Set(r.NsPerOp)
 		reg.Gauge(r.Name + "/bytes_per_op").Set(float64(r.BytesPerOp))
 		reg.Gauge(r.Name + "/allocs_per_op").Set(float64(r.AllocsPerOp))
+		if r.EventsPerSec > 0 {
+			reg.Gauge(r.Name + "/events_per_sec").Set(r.EventsPerSec)
+		}
 	}
 	man.Finish(reg.Snapshot())
 
@@ -129,7 +161,11 @@ func main() {
 		os.Exit(1)
 	}
 	for _, r := range records {
-		fmt.Printf("%-45s %12.1f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		fmt.Printf("%-45s %12.1f ns/op %6d B/op %4d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.EventsPerSec > 0 {
+			fmt.Printf(" %12.0f events/s", r.EventsPerSec)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

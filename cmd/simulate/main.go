@@ -64,6 +64,8 @@ func main() {
 		`(amd = reference; intel = 1/1.2 capability; blade = 1/2). Overrides -hosts.`)
 	reps := flag.Int("reps", 1, "independent replications (seed, seed+1, ...); >1 reports confidence intervals")
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = all CPUs); never changes results")
+	shards := flag.Int("shards", 0, "parallel shards within one run, capped at the scenario's coupling components (0 = unsharded); never changes results")
+	queue := flag.String("queue", "", `desim event queue: "auto", "heap" or "wheel" (empty = auto); never changes results`)
 	precision := flag.Float64("precision", 0, "stop replicating once the 95% CI of pooled loss is relatively this tight (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replication study (0 = none)")
 	scenarioFile := flag.String("scenario", "", `run a scenario JSON file ("-" = stdin) instead of the flag-built case study`)
@@ -86,6 +88,14 @@ func main() {
 
 	if *workers < 0 {
 		die("-workers must be >= 0 (0 selects GOMAXPROCS), got %d", *workers)
+	}
+	if *shards < 0 {
+		die("-shards must be >= 0 (0 disables sharding), got %d", *shards)
+	}
+	switch *queue {
+	case "", "auto", "heap", "wheel":
+	default:
+		die(`-queue must be "auto", "heap" or "wheel", got %q`, *queue)
 	}
 
 	explicit := map[string]bool{}
@@ -113,6 +123,7 @@ func main() {
 			alloc: *alloc, period: *period, cost: *cost,
 			horizon: *horizon, seed: *seed, mtbf: *mtbf, mttr: *mttr,
 			classes: *classes, reps: *reps, workers: *workers,
+			shards: *shards, queue: *queue,
 			precision: *precision, timeout: *timeout,
 		})
 	}
@@ -240,7 +251,7 @@ func main() {
 var shapingFlags = []string{
 	"mode", "hosts", "web-servers", "db-servers", "intensity", "web-rate",
 	"db-rate", "alloc", "period", "cost", "horizon", "seed", "mtbf", "mttr",
-	"classes", "reps", "workers", "precision", "timeout",
+	"classes", "reps", "workers", "shards", "queue", "precision", "timeout",
 }
 
 // checkFlagConflicts rejects contradictory combinations up front, before
@@ -310,6 +321,8 @@ type flagValues struct {
 	mtbf, mttr            float64
 	classes               string
 	reps, workers         int
+	shards                int
+	queue                 string
 	precision             float64
 	timeout               time.Duration
 }
@@ -365,14 +378,16 @@ func flagScenario(v flagValues) (scenario.Scenario, error) {
 	if v.mtbf > 0 {
 		s.Failures = &scenario.Failures{MTBF: v.mtbf, MTTR: v.mttr}
 	}
-	if v.reps > 1 || v.workers > 0 || v.precision > 0 || v.timeout > 0 {
+	if v.reps > 1 || v.workers > 0 || v.shards > 0 || v.precision > 0 || v.timeout > 0 {
 		s.Replication = &scenario.Replication{
 			Reps:       v.reps,
 			Workers:    v.workers,
+			Shards:     v.shards,
 			Precision:  v.precision,
 			TimeoutSec: v.timeout.Seconds(),
 		}
 	}
+	s.EventQueue = v.queue
 	return s, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/desim"
+	"repro/internal/pool"
 	"repro/internal/stats"
 	"repro/internal/virt"
 	"repro/internal/workload"
@@ -154,6 +155,41 @@ type Config struct {
 	// state. Purely an allocation optimization; results are identical
 	// with or without it.
 	Arenas *ArenaPool
+
+	// Shards requests intra-run parallelism. The run is first partitioned
+	// into coupling components — groups of hosts that never exchange
+	// requests or share mutable state. In Dedicated mode every service's
+	// pool is its own component (the dispatcher only routes a service to
+	// its own hosts); in Consolidated mode every host serves every
+	// service, so the whole fleet is one component. Components are packed
+	// onto min(Shards, components) shards by a deterministic greedy
+	// bin-packing, and each shard runs the full horizon on its own
+	// simulator, arena and clock. 0 or 1 means sequential (the pre-shard
+	// engine, event for event). Because shards share nothing during the
+	// run and all RNG substreams are derived purely from (seed, label),
+	// results are independent of the shard count and of goroutine
+	// scheduling. A non-nil Tracer forces a single shard (trace writers
+	// are not goroutine-safe and interleaved shard clocks would garble
+	// the event log).
+	Shards int
+
+	// EventQueue selects the discrete-event queue implementation per
+	// shard: "heap" (binary min-heap, the default engine), "wheel"
+	// (hierarchical timing wheel for dense short-horizon event mixes;
+	// sparse or far-future events spill to an internal overflow heap), or
+	// ""/"auto" (heap for sequential runs — keeping default output
+	// byte-identical release to release — and a density estimate for
+	// sharded runs). The queues pop in the identical total order, so the
+	// choice never changes results.
+	EventQueue string
+
+	// Pool, when non-nil, bounds the extra goroutines a sharded run may
+	// claim. The caller is assumed to hold one slot for the run itself
+	// (the replication engine's worker); up to Shards-1 extra slots are
+	// claimed non-blockingly, so shards × replication workers never
+	// oversubscribe the machine, and shards that find the pool busy
+	// simply run on the caller's goroutine.
+	Pool *pool.Pool
 }
 
 // HostClass describes one hardware class of a heterogeneous consolidated
@@ -251,6 +287,14 @@ func (c *Config) Validate() error {
 	if c.HostMemoryGB < 0 || c.Dom0MemoryGB < 0 ||
 		math.IsNaN(c.HostMemoryGB) || math.IsNaN(c.Dom0MemoryGB) {
 		return fmt.Errorf("%w: negative memory sizes", ErrInvalidConfig)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("%w: shards %d (negative; 0 means sequential)", ErrInvalidConfig, c.Shards)
+	}
+	switch c.EventQueue {
+	case "", "auto", "heap", "wheel":
+	default:
+		return fmt.Errorf("%w: event queue %q (want auto, heap or wheel)", ErrInvalidConfig, c.EventQueue)
 	}
 	if c.Mode == Consolidated {
 		// Memory placement: every consolidated host carries one VM per

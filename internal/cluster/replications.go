@@ -94,6 +94,12 @@ func Replications(ctx context.Context, cfg Config, rcfg replicate.Config) (*Repl
 		return nil, fmt.Errorf("%w: replications=%d", ErrInvalidConfig, rcfg.Replications)
 	}
 	rcfg.Seed = cfg.Seed
+	if cfg.Pool == nil {
+		// Sharded runs claim their extra goroutines from the same budget
+		// the replication workers draw on, so shards × workers never
+		// oversubscribe the machine.
+		cfg.Pool = rcfg.Pool
+	}
 	eng, err := replicate.Run(ctx, rcfg,
 		func(_ int, seed uint64) (*Result, error) {
 			return Run(cloneConfig(cfg, seed))

@@ -25,13 +25,18 @@ type request struct {
 // host is one physical server.
 type host struct {
 	id       int
+	shard    int   // which shard simulator owns this host's events
 	services []int // indexes into cfg.Services hosted here
 	// stations[r] in flowing mode; vmStations[vmPos][r] in partitioned
 	// mode (vmPos indexes host.services).
 	stations   map[string]*station
 	vmStations []map[string]*station
-	inflight   int
-	up         bool
+	// ordered lists every station of the host in deterministic build
+	// order (sorted resource order, VMs in position order), so run-time
+	// visitors iterate without sorting map keys per call.
+	ordered  []*station
+	inflight int
+	up       bool
 	// capability reports the host's per-resource speed relative to the
 	// reference server; utilization fractions are normalized by it.
 	capability func(resource string) float64
@@ -40,34 +45,35 @@ type host struct {
 // everyStation visits all stations of the host in sorted resource order,
 // keeping callers deterministic.
 func (h *host) everyStation(fn func(*station)) {
-	for _, res := range sortedKeys(h.stations) {
-		fn(h.stations[res])
+	for _, st := range h.ordered {
+		fn(st)
 	}
-	for _, vm := range h.vmStations {
-		for _, res := range sortedKeys(vm) {
-			fn(vm[res])
-		}
-	}
-}
-
-func sortedKeys(m map[string]*station) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for k := i; k > 0 && keys[k] < keys[k-1]; k-- {
-			keys[k], keys[k-1] = keys[k-1], keys[k]
-		}
-	}
-	return keys
 }
 
 // runner holds the live simulation state.
 type runner struct {
-	cfg       *Config
-	sim       *desim.Simulator
-	arena     *Arena // nil = allocate requests/jobRefs individually
+	cfg *Config
+
+	// One simulator (and arena) per shard. Shard 0 is the whole run when
+	// sequential; otherwise every coupling component lives entirely on
+	// one shard and shards share no mutable state while running (see
+	// shard.go). svcShard maps each service to its shard; nil means
+	// everything on shard 0. The *One arrays back the slices in the
+	// common sequential case so it allocates nothing per run.
+	nshards  int
+	sims     []*desim.Simulator
+	arenas   []*Arena // nil = allocate requests/jobRefs individually
+	svcShard []int
+	// shardFailures is the per-shard single-writer failure count, summed
+	// into Result.Failures at finish.
+	shardFailures []int64
+	simsOne       [1]*desim.Simulator
+	arenasOne     [1]*Arena
+	failuresOne   [1]int64
+	// elapsed is the wall-clock time of the event loops, feeding the
+	// events-per-second gauge on sharded runs.
+	elapsed float64
+
 	root      *stats.Stream
 	hosts     []*host
 	byService [][]*host  // dispatch pools per service
@@ -91,22 +97,39 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var ar *Arena
-	sim := desim.New()
-	if cfg.Arenas != nil {
-		ar = cfg.Arenas.Get()
-		sim = ar.sim
-		defer cfg.Arenas.Put(ar)
-	}
 	r := &runner{
-		cfg:   &cfg,
-		sim:   sim,
-		arena: ar,
-		root:  stats.NewStream(cfg.Seed, fmt.Sprintf("cluster/%s", cfg.Mode)),
-		reg:   obs.NewRegistry(),
+		cfg:  &cfg,
+		root: stats.NewStream(cfg.Seed, fmt.Sprintf("cluster/%s", cfg.Mode)),
+		reg:  obs.NewRegistry(),
 	}
+	r.planShards()
+	if r.nshards == 1 {
+		r.sims = r.simsOne[:]
+		r.shardFailures = r.failuresOne[:]
+	} else {
+		r.sims = make([]*desim.Simulator, r.nshards)
+		r.shardFailures = make([]int64, r.nshards)
+	}
+	if cfg.Arenas != nil {
+		if r.nshards == 1 {
+			r.arenas = r.arenasOne[:]
+		} else {
+			r.arenas = make([]*Arena, r.nshards)
+		}
+		for s := range r.sims {
+			a := cfg.Arenas.Get()
+			r.arenas[s] = a
+			r.sims[s] = a.sim
+			defer cfg.Arenas.Put(a)
+		}
+	} else {
+		for s := range r.sims {
+			r.sims[s] = desim.New()
+		}
+	}
+	r.applyQueue()
 	if cfg.Tracer != nil {
-		r.sim.SetTracer(cfg.Tracer)
+		r.sims[0].SetTracer(cfg.Tracer) // planShards forced nshards = 1
 	}
 	r.res = newResult(&cfg)
 	r.build()
@@ -114,18 +137,23 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Warmup > 0 {
 		// Snapshot delivered work at the warmup boundary so finish() can
 		// scope utilization to the same post-warmup window as loss and
-		// throughput.
-		r.sim.At(cfg.Warmup, func() {
-			for _, h := range r.hosts {
-				h.everyStation(func(st *station) { st.snapshotWarmup() })
-			}
-		})
+		// throughput. Each shard snapshots its own hosts on its own clock.
+		for s := 0; s < r.nshards; s++ {
+			s := s
+			r.sims[s].At(cfg.Warmup, func() {
+				for _, h := range r.hosts {
+					if h.shard == s {
+						h.everyStation(func(st *station) { st.snapshotWarmup() })
+					}
+				}
+			})
+		}
 	}
 	r.startDrivers()
 	if cfg.MTBF > 0 {
 		r.startFailures()
 	}
-	r.sim.Run(cfg.Horizon)
+	r.runShards()
 	r.finish()
 	return r.res, nil
 }
@@ -150,15 +178,19 @@ func (r *runner) build() {
 		r.resources[i] = resourceSet(cfg.Services[i : i+1])
 	}
 
-	mkStation := func(name string, capacity float64) *station {
-		st := newStation(r.sim, name, capacity, r.onStationDone)
-		if r.arena != nil {
-			st.newJob = r.newJobRef
+	mkStation := func(shard int, name string, capacity float64) *station {
+		st := newStation(r.sims[shard], name, capacity, r.onStationDone)
+		if r.arenas != nil {
+			st.newJob = r.arenas[shard].getJobRef
+		} else {
+			// No arena: the runner never reads a request's refs after
+			// completion, so stations can recycle jobRefs locally.
+			st.recycleJobs = true
 		}
 		return st
 	}
-	newHost := func(id int, services []int, capability func(string) float64) *host {
-		h := &host{id: id, services: services, up: true, capability: capability}
+	newHost := func(id, shard int, services []int, capability func(string) float64) *host {
+		h := &host{id: id, shard: shard, services: services, up: true, capability: capability}
 		resources := resourceSet(pick(cfg.Services, services))
 		if cfg.Mode == Consolidated && cfg.Alloc != nil {
 			// Partitioned: one station per VM per resource.
@@ -169,7 +201,9 @@ func (r *runner) build() {
 				for _, res := range resources {
 					cap := shares[pos] * (1 - cfg.Alloc.Overhead()) * capability(res)
 					name := fmt.Sprintf("h%d/vm%d/%s", id, pos, res)
-					h.vmStations[pos][res] = mkStation(name, cap)
+					st := mkStation(shard, name, cap)
+					h.vmStations[pos][res] = st
+					h.ordered = append(h.ordered, st)
 				}
 			}
 		} else {
@@ -177,7 +211,9 @@ func (r *runner) build() {
 			h.stations = map[string]*station{}
 			for _, res := range resources {
 				name := fmt.Sprintf("h%d/%s", id, res)
-				h.stations[res] = mkStation(name, capability(res))
+				st := mkStation(shard, name, capability(res))
+				h.stations[res] = st
+				h.ordered = append(h.ordered, st)
 			}
 		}
 		return h
@@ -189,7 +225,7 @@ func (r *runner) build() {
 		id := 0
 		for svc := range cfg.Services {
 			for k := 0; k < cfg.Services[svc].DedicatedServers; k++ {
-				h := newHost(id, []int{svc}, referenceHost)
+				h := newHost(id, r.shardOf(svc), []int{svc}, referenceHost)
 				id++
 				r.hosts = append(r.hosts, h)
 				r.byService[svc] = append(r.byService[svc], h)
@@ -201,7 +237,7 @@ func (r *runner) build() {
 			all[i] = i
 		}
 		addHost := func(id int, capability func(string) float64) {
-			h := newHost(id, all, capability)
+			h := newHost(id, 0, all, capability)
 			r.hosts = append(r.hosts, h)
 			for svc := range cfg.Services {
 				r.byService[svc] = append(r.byService[svc], h)
@@ -223,8 +259,10 @@ func (r *runner) build() {
 		}
 	}
 
-	// Periodic Rainbow rebalancing.
+	// Periodic Rainbow rebalancing. Consolidated mode is a single
+	// coupling component, so the tick always lives on shard 0.
 	if cfg.Mode == Consolidated && cfg.Alloc != nil && cfg.Alloc.Period() > 0 {
+		sim := r.sims[0]
 		var tick func()
 		tick = func() {
 			for _, h := range r.hosts {
@@ -244,11 +282,11 @@ func (r *runner) build() {
 					}
 				}
 			}
-			if r.sim.Now()+cfg.Alloc.Period() <= cfg.Horizon {
-				r.sim.After(cfg.Alloc.Period(), tick)
+			if sim.Now()+cfg.Alloc.Period() <= cfg.Horizon {
+				sim.After(cfg.Alloc.Period(), tick)
 			}
 		}
-		r.sim.After(cfg.Alloc.Period(), tick)
+		sim.After(cfg.Alloc.Period(), tick)
 	}
 }
 
@@ -258,8 +296,61 @@ func (r *runner) build() {
 // path), virtual-time advances summed over stations (each station keeps
 // a plain field; the registry reads them only at snapshot), and one
 // mean-occupancy gauge per station. Must run after build().
+//
+// Sequential runs keep the exact pre-shard metric set under "desim" so
+// default manifests stay byte-identical. Sharded runs publish each
+// shard's engine under "desim/shard<i>" plus merged "desim" totals
+// (sums; high-water and slots report the max and sum across shards), a
+// shard-count gauge, and the merged events-per-second throughput of the
+// parallel event loops.
 func (r *runner) registerObs() {
-	obs.RegisterSimulator(r.reg, "desim", r.sim)
+	if r.nshards == 1 {
+		obs.RegisterSimulator(r.reg, "desim", r.sims[0])
+	} else {
+		for s, sim := range r.sims {
+			obs.RegisterSimulator(r.reg, fmt.Sprintf("desim/shard%d", s), sim)
+		}
+		sum := func(field func(desim.Stats) uint64) func() uint64 {
+			return func() uint64 {
+				var total uint64
+				for _, sim := range r.sims {
+					total += field(sim.Stats())
+				}
+				return total
+			}
+		}
+		r.reg.CounterFunc("desim/events_scheduled", sum(func(s desim.Stats) uint64 { return s.Scheduled }))
+		r.reg.CounterFunc("desim/events_fired", sum(func(s desim.Stats) uint64 { return s.Fired }))
+		r.reg.CounterFunc("desim/events_cancelled", sum(func(s desim.Stats) uint64 { return s.Cancelled }))
+		r.reg.CounterFunc("desim/arena_compactions", sum(func(s desim.Stats) uint64 { return s.Compactions }))
+		r.reg.GaugeFunc("desim/queue_high_water", func() float64 {
+			m := 0
+			for _, sim := range r.sims {
+				if q := sim.Stats().MaxQueue; q > m {
+					m = q
+				}
+			}
+			return float64(m)
+		})
+		r.reg.GaugeFunc("desim/arena_slots", func() float64 {
+			total := 0
+			for _, sim := range r.sims {
+				total += sim.Stats().ArenaSlots
+			}
+			return float64(total)
+		})
+		r.reg.GaugeFunc("cluster/shards", func() float64 { return float64(r.nshards) })
+		r.reg.GaugeFunc("cluster/events_per_sec", func() float64 {
+			if r.elapsed <= 0 {
+				return 0
+			}
+			var fired uint64
+			for _, sim := range r.sims {
+				fired += sim.Stats().Fired
+			}
+			return float64(fired) / r.elapsed
+		})
+	}
 	r.obsAdmissions = r.reg.Counter("cluster/admissions")
 	r.obsLosses = r.reg.Counter("cluster/losses")
 	r.obsFailures = r.reg.Counter("cluster/host_failures")
@@ -291,6 +382,7 @@ func pick(specs []ServiceSpec, idx []int) []ServiceSpec {
 func (r *runner) startDrivers() {
 	for svc := range r.cfg.Services {
 		spec := &r.cfg.Services[svc]
+		sim := r.sims[r.shardOf(svc)]
 		if spec.Arrivals != nil {
 			svc := svc
 			arr := r.root.Substream(fmt.Sprintf("arrivals/%d", svc))
@@ -298,13 +390,13 @@ func (r *runner) startDrivers() {
 			loop = func() {
 				r.dispatch(svc, -1)
 				gap := spec.Arrivals.Next(arr)
-				if r.sim.Now()+gap <= r.cfg.Horizon {
-					r.sim.After(gap, loop)
+				if sim.Now()+gap <= r.cfg.Horizon {
+					sim.After(gap, loop)
 				}
 			}
 			first := spec.Arrivals.Next(arr)
 			if first <= r.cfg.Horizon {
-				r.sim.At(first, loop)
+				sim.At(first, loop)
 			}
 			continue
 		}
@@ -315,7 +407,7 @@ func (r *runner) startDrivers() {
 			if start > r.cfg.Horizon {
 				continue
 			}
-			r.sim.At(start, func() { r.dispatch(svc, c) })
+			sim.At(start, func() { r.dispatch(svc, c) })
 		}
 	}
 }
@@ -332,15 +424,17 @@ func (r *runner) thinkTime(svc int) float64 {
 // clientThink schedules the next request of a closed-loop client.
 func (r *runner) clientThink(svc, client int) {
 	d := r.thinkTime(svc)
-	if r.sim.Now()+d <= r.cfg.Horizon {
-		r.sim.After(d, func() { r.dispatch(svc, client) })
+	sim := r.sims[r.shardOf(svc)]
+	if sim.Now()+d <= r.cfg.Horizon {
+		sim.After(d, func() { r.dispatch(svc, client) })
 	}
 }
 
 // dispatch routes one request of service svc (client >= 0 for closed loop)
 // through the LVS round-robin dispatcher.
 func (r *runner) dispatch(svc, client int) {
-	now := r.sim.Now()
+	shard := r.shardOf(svc)
+	now := r.sims[shard].Now()
 	counted := now >= r.cfg.Warmup
 	sm := &r.res.Services[svc]
 	if counted {
@@ -357,7 +451,7 @@ func (r *runner) dispatch(svc, client int) {
 		}
 		return
 	}
-	req := r.newRequest()
+	req := r.newRequest(shard)
 	req.service, req.host, req.arrived = svc, h, now
 	req.counted, req.client = counted, client
 	r.admit(req)
@@ -456,7 +550,7 @@ func (r *runner) completeRequest(req *request) {
 	// forward, so no boundary re-check is needed here.
 	if req.counted {
 		sm.Served++
-		rt := r.sim.Now() - req.arrived
+		rt := r.sims[req.host.shard].Now() - req.arrived
 		sm.ResponseTimes.Add(rt)
 		r.p95[req.service].Add(rt)
 		r.p99[req.service].Add(rt)
@@ -467,38 +561,32 @@ func (r *runner) completeRequest(req *request) {
 	// A completed request has drained every station (left == 0), so its
 	// whole object graph is free for reuse. Failure-path requests never
 	// get here and stay with the garbage collector.
-	if r.arena != nil && !req.dead {
-		r.arena.recycleRequest(req)
+	if r.arenas != nil && !req.dead {
+		r.arenas[req.host.shard].recycleRequest(req)
 	}
 }
 
 // newRequest hands out a zeroed request, recycled when an arena is
 // attached.
-func (r *runner) newRequest() *request {
-	if r.arena != nil {
-		return r.arena.getRequest()
+func (r *runner) newRequest(shard int) *request {
+	if r.arenas != nil {
+		return r.arenas[shard].getRequest()
 	}
 	return &request{}
 }
 
-// newJobRef hands out a zeroed jobRef, recycled when an arena is
-// attached.
-func (r *runner) newJobRef() *jobRef {
-	if r.arena != nil {
-		return r.arena.getJobRef()
-	}
-	return &jobRef{}
-}
-
-// startFailures arms the host failure/repair processes.
+// startFailures arms the host failure/repair processes. Each host's
+// process lives on its own shard's simulator; the failure count is
+// written per shard (single writer) and summed at finish.
 func (r *runner) startFailures() {
 	for _, h := range r.hosts {
 		h := h
+		sim := r.sims[h.shard]
 		fs := r.root.Substream(fmt.Sprintf("failures/%d", h.id))
 		var fail, repair func()
 		fail = func() {
 			h.up = false
-			r.res.Failures++
+			r.shardFailures[h.shard]++
 			r.obsFailures.Inc()
 			// Lose all in-flight requests on this host, in a deterministic
 			// order (map iteration would perturb the think-time stream).
@@ -524,26 +612,29 @@ func (r *runner) startFailures() {
 				}
 			}
 			d := fs.ExpFloat64() * r.cfg.MTTR
-			if r.sim.Now()+d <= r.cfg.Horizon {
-				r.sim.After(d, repair)
+			if sim.Now()+d <= r.cfg.Horizon {
+				sim.After(d, repair)
 			}
 		}
 		repair = func() {
 			h.up = true
 			d := fs.ExpFloat64() * r.cfg.MTBF
-			if r.sim.Now()+d <= r.cfg.Horizon {
-				r.sim.After(d, fail)
+			if sim.Now()+d <= r.cfg.Horizon {
+				sim.After(d, fail)
 			}
 		}
 		d := fs.ExpFloat64() * r.cfg.MTBF
 		if d <= r.cfg.Horizon {
-			r.sim.After(d, fail)
+			sim.After(d, fail)
 		}
 	}
 }
 
 // finish closes statistics at the horizon.
 func (r *runner) finish() {
+	for _, n := range r.shardFailures {
+		r.res.Failures += n
+	}
 	window := r.cfg.Horizon - r.cfg.Warmup
 	for i := range r.res.Services {
 		sm := &r.res.Services[i]

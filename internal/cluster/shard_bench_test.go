@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchShardConfig is a four-component dedicated fleet sized so per-shard
+// event-loop work dominates orchestration: on a multi-core machine
+// shards=4 should approach 4x the shards=1 wall clock. Equal weights keep
+// the bin-packing balanced, so the critical path is one component.
+func benchShardConfig(seed uint64, shards int) Config {
+	return Config{
+		Mode: Dedicated,
+		Services: []ServiceSpec{
+			webSpec(2500, 2),
+			webSpec(2500, 2),
+			webSpec(2500, 2),
+			webSpec(2500, 2),
+		},
+		Horizon: 5,
+		Warmup:  1,
+		Seed:    seed,
+		Shards:  shards,
+	}
+}
+
+// BenchmarkShardedRun measures whole-run wall clock at one and four
+// shards, reporting the simulator's aggregate event rate. The shards=1
+// case runs the exact pre-shard sequential engine; the ratio between the
+// two sub-benchmarks is the parallel speedup (bounded by GOMAXPROCS).
+func BenchmarkShardedRun(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var fired uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchShardConfig(uint64(i), shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fired += res.Obs.Counters["desim/events_fired"]
+			}
+			b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -67,6 +67,14 @@ type station struct {
 	doneBuf    []*jobRef    // scratch for complete; reused across events
 	onDone     func(*request, *station)
 	newJob     func() *jobRef // optional arena allocator; nil = plain alloc
+
+	// recycleJobs opts into the station-local jobRef freelist: completed
+	// jobs are zeroed and reused by later admissions. Safe only when no
+	// caller retains a jobRef past completion (the runner's contract —
+	// request refs are never read again without an arena); direct users
+	// that probe heapIdx on stale refs must leave it off.
+	recycleJobs bool
+	freeJobs    []*jobRef
 }
 
 func newStation(sim *desim.Simulator, name string, capacity float64, onDone func(*request, *station)) *station {
@@ -129,9 +137,15 @@ func (st *station) setCapacity(c float64) {
 func (st *station) add(req *request, work float64) *jobRef {
 	st.advance()
 	var j *jobRef
-	if st.newJob != nil {
+	switch {
+	case st.newJob != nil:
 		j = st.newJob()
-	} else {
+	case st.recycleJobs && len(st.freeJobs) > 0:
+		n := len(st.freeJobs) - 1
+		j = st.freeJobs[n]
+		st.freeJobs[n] = nil
+		st.freeJobs = st.freeJobs[:n]
+	default:
 		j = &jobRef{}
 	}
 	j.req, j.threshold, j.seq = req, st.V+math.Max(work, 0), st.seq
@@ -203,8 +217,14 @@ func (st *station) complete() {
 	for _, j := range done {
 		st.onDone(j.req, st)
 	}
-	// Drop request references before the buffer is parked for reuse.
-	for i := range done {
+	// Drop request references before the buffer is parked for reuse;
+	// opted-in stations recycle the completed jobRefs themselves.
+	for i, j := range done {
+		if st.recycleJobs {
+			*j = jobRef{}
+			j.heapIdx = -1
+			st.freeJobs = append(st.freeJobs, j)
+		}
 		done[i] = nil
 	}
 	st.doneBuf = done[:0]

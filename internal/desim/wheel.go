@@ -1,0 +1,423 @@
+package desim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Hierarchical timing wheel: an alternative event queue for dense,
+// short-horizon schedules (per-request completions and think times in a
+// large fleet), selectable per run via Simulator.UseWheel.
+//
+// Time is bucketed into fixed-width ticks. Three levels of 256 slots each
+// cover 2^24 ticks ahead of the wheel's current tick; level L buckets
+// events 256^L..256^(L+1)-1 ticks out by tick>>(8L) mod 256. Events due at
+// or before the current tick sit in curq, a small (at, seq) min-heap, and
+// events beyond the wheel span sit in far, another (at, seq) min-heap.
+// Advancing the wheel finds the earliest occupied region via per-level
+// occupancy bitmaps, cascades coarse slots into finer ones, and drains the
+// winning slot into curq.
+//
+// The wheel is an exact drop-in for the binary heap: every pop comes off
+// curq, which orders events by the same (at, seq) total order the heap
+// uses, and the advance logic only moves the current tick to the minimum
+// occupied tick, so the fire sequence — and therefore every simulation
+// result — is bit-identical whichever queue a run selects. The win is
+// constant-time scheduling for near-future events instead of O(log n)
+// sifts through one big heap.
+const (
+	wheelBits      = 8
+	wheelSlots     = 1 << wheelBits
+	wheelMask      = wheelSlots - 1
+	wheelLevels    = 3
+	wheelSpanTicks = int64(1) << (wheelBits * wheelLevels)
+
+	// maxWheelTick clamps tick conversion so +Inf or absurd times never
+	// overflow int64; clamped events collapse into one far bucket where
+	// the (at, seq) heap still orders them exactly.
+	maxWheelTick = int64(1) << 62
+)
+
+type timingWheel struct {
+	sim  *Simulator
+	tick float64 // seconds per tick
+	inv  float64 // 1/tick
+
+	// cur is the wheel position: every event with tickOf(at) <= cur has
+	// fired or sits in curq. It only moves forward, and only onto the
+	// minimum occupied tick, so nothing is ever skipped.
+	cur   int64
+	count int // events resident in the level slots
+
+	levels [wheelLevels][wheelSlots][]int32
+	occ    [wheelLevels][wheelSlots / 64]uint64
+
+	curq []int32 // min-heap by (at, seq): due events
+	far  []int32 // min-heap by (at, seq): events beyond the wheel span
+}
+
+func newTimingWheel(s *Simulator, tick float64) *timingWheel {
+	w := &timingWheel{sim: s, tick: tick, inv: 1 / tick}
+	w.cur = w.tickOf(s.now)
+	return w
+}
+
+// tickOf maps an absolute time to its tick. Multiplication by a positive
+// constant and truncation are both monotone, so tick order never inverts
+// event order — the property ordering correctness rests on.
+func (w *timingWheel) tickOf(at Time) int64 {
+	x := at * w.inv
+	if x >= float64(maxWheelTick) {
+		return maxWheelTick
+	}
+	return int64(x)
+}
+
+// pending reports the number of queued events (including cancelled ones
+// not yet reaped).
+func (w *timingWheel) pending() int {
+	return len(w.curq) + w.count + len(w.far)
+}
+
+// insert files one arena slot index by its firing time.
+func (w *timingWheel) insert(idx int32, at Time) {
+	t := w.tickOf(at)
+	d := t - w.cur
+	if d <= 0 {
+		w.heapPush(&w.curq, idx)
+		return
+	}
+	var level int
+	switch {
+	case d < wheelSlots:
+		level = 0
+	case d < 1<<(2*wheelBits):
+		level = 1
+	case d < wheelSpanTicks:
+		level = 2
+	default:
+		w.heapPush(&w.far, idx)
+		return
+	}
+	slot := int(t>>uint(level*wheelBits)) & wheelMask
+	w.levels[level][slot] = append(w.levels[level][slot], idx)
+	w.occ[level][slot>>6] |= 1 << uint(slot&63)
+	w.count++
+}
+
+// next advances the wheel until curq holds the globally earliest pending
+// event and returns it (without popping). False means the queue is empty.
+func (w *timingWheel) next() (int32, bool) {
+	for {
+		if len(w.curq) > 0 {
+			return w.curq[0], true
+		}
+		if w.count == 0 {
+			if len(w.far) == 0 {
+				return 0, false
+			}
+			// Nothing in the wheel: jump straight to the earliest far
+			// event and pull the far heap's near window in.
+			w.cur = w.tickOf(w.sim.arena[w.far[0]].at)
+			w.drainFar(w.cur + wheelSpanTicks - 1)
+			continue
+		}
+
+		// The earliest occupied region per level. Ties prefer the coarser
+		// level: a coarse slot starting at the same tick may hold events
+		// due before (or among) the fine candidate's, so it must cascade
+		// first — and the wheel may never move into a block whose
+		// coarse slot is still occupied, or those events would fall out
+		// of the scan windows below.
+		best, bestLevel, bestEnd := int64(math.MaxInt64), -1, int64(0)
+		if t, ok := w.nextL0(); ok {
+			best, bestLevel, bestEnd = t, 0, t
+		}
+		for level := 1; level < wheelLevels; level++ {
+			if b, ok := w.nextBlock(level); ok {
+				shift := uint(level * wheelBits)
+				if start := b << shift; start <= best {
+					best, bestLevel, bestEnd = start, level, (b+1)<<shift-1
+				}
+			}
+		}
+		if bestLevel < 0 {
+			panic("desim: timing wheel lost events")
+		}
+		if len(w.far) > 0 {
+			ft := w.tickOf(w.sim.arena[w.far[0]].at)
+			if ft < best {
+				// Far events precede every wheel event: bring them in
+				// (they fit — best is within the span) and rescan.
+				w.drainFar(best - 1)
+				continue
+			}
+			if ft <= bestEnd {
+				// Far events interleave with the winning region. Advance
+				// first so they land below the region's level, then merge.
+				w.cur = best
+				w.drainFar(bestEnd)
+			}
+		}
+		w.cur = best
+		w.drainSlot(bestLevel, best)
+	}
+}
+
+// popCur removes curq's top (which next() made the global minimum).
+func (w *timingWheel) popCur() {
+	w.heapPop(&w.curq)
+}
+
+// nextL0 finds the earliest occupied level-0 slot at or after the current
+// tick. Offset 0 is included: the wheel can advance onto a tick whose
+// level-0 slot was populated before a coarser cascade moved cur there.
+func (w *timingWheel) nextL0() (int64, bool) {
+	start := int(w.cur) & wheelMask
+	s, ok := nextBit(&w.occ[0], start)
+	if !ok {
+		return 0, false
+	}
+	off := int64((s - start + wheelSlots) & wheelMask)
+	return w.cur + off, true
+}
+
+// nextBlock finds the earliest occupied block index at the given level,
+// scanning the 256 blocks after the current one. The current block's slot
+// is never occupied: events land there only with a delta of at least one
+// full block, and cur enters a block only after its slot cascaded.
+func (w *timingWheel) nextBlock(level int) (int64, bool) {
+	shift := uint(level * wheelBits)
+	base := w.cur >> shift
+	start := int(base+1) & wheelMask
+	s, ok := nextBit(&w.occ[level], start)
+	if !ok {
+		return 0, false
+	}
+	off := int64((s - start + wheelSlots) & wheelMask)
+	return base + 1 + off, true
+}
+
+// nextBit finds the first set bit in circular order starting at start.
+func nextBit(bm *[wheelSlots / 64]uint64, start int) (int, bool) {
+	word, bit := start>>6, uint(start&63)
+	if rest := bm[word] >> bit << bit; rest != 0 {
+		return word<<6 + bits.TrailingZeros64(rest), true
+	}
+	for k := 1; k <= len(bm); k++ {
+		i := (word + k) % len(bm)
+		if bm[i] != 0 {
+			s := i<<6 + bits.TrailingZeros64(bm[i])
+			if k == len(bm) && s >= start {
+				// Wrapped fully: only bits before start remain unseen.
+				return 0, false
+			}
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// drainSlot empties the slot covering tick t at the given level,
+// re-filing each event relative to the (already advanced) current tick:
+// level-0 events and exact-tick events go to curq, coarser ones cascade
+// down a level. Cancelled events are reaped for free on the way.
+func (w *timingWheel) drainSlot(level int, t int64) {
+	slot := int(t>>uint(level*wheelBits)) & wheelMask
+	evs := w.levels[level][slot]
+	// Reinsertion always targets curq or a strictly finer level (the
+	// delta to cur shrank below this level's block size), so retaining
+	// the backing array for reuse cannot alias the loop below.
+	w.levels[level][slot] = evs[:0]
+	w.occ[level][slot>>6] &^= 1 << uint(slot&63)
+	w.count -= len(evs)
+	for _, idx := range evs {
+		ev := &w.sim.arena[idx]
+		if ev.state == stateCancelled {
+			w.sim.cancelled--
+			w.sim.release(idx)
+			continue
+		}
+		w.insert(idx, ev.at)
+	}
+}
+
+// drainFar moves far-heap events with tick <= limit into the wheel.
+// Callers guarantee limit is within the wheel span of cur, so re-filing
+// never bounces an event back to the far heap.
+func (w *timingWheel) drainFar(limit int64) {
+	for len(w.far) > 0 {
+		idx := w.far[0]
+		ev := &w.sim.arena[idx]
+		if w.tickOf(ev.at) > limit {
+			return
+		}
+		w.heapPop(&w.far)
+		if ev.state == stateCancelled {
+			w.sim.cancelled--
+			w.sim.release(idx)
+			continue
+		}
+		w.insert(idx, ev.at)
+	}
+}
+
+// reset empties the wheel, keeping slot capacity, for arena-style reuse.
+func (w *timingWheel) reset() {
+	for level := range w.levels {
+		for word, bm := range w.occ[level] {
+			for bm != 0 {
+				bit := bits.TrailingZeros64(bm)
+				bm &= bm - 1
+				slot := word<<6 + bit
+				w.levels[level][slot] = w.levels[level][slot][:0]
+			}
+			w.occ[level][word] = 0
+		}
+	}
+	w.curq = w.curq[:0]
+	w.far = w.far[:0]
+	w.cur = w.tickOf(w.sim.now)
+	w.count = 0
+}
+
+// compact reaps cancelled events from every wheel structure in place —
+// the wheel-mode counterpart of the heap's outnumber compaction.
+func (w *timingWheel) compact() {
+	w.curq = w.filterHeap(w.curq)
+	w.far = w.filterHeap(w.far)
+	for level := range w.levels {
+		for word, bm := range w.occ[level] {
+			for bm != 0 {
+				bit := bits.TrailingZeros64(bm)
+				bm &= bm - 1
+				slot := word<<6 + bit
+				evs := w.levels[level][slot]
+				kept := evs[:0]
+				for _, idx := range evs {
+					if w.sim.arena[idx].state == stateCancelled {
+						w.sim.release(idx)
+						continue
+					}
+					kept = append(kept, idx)
+				}
+				w.count -= len(evs) - len(kept)
+				w.levels[level][slot] = kept
+				if len(kept) == 0 {
+					w.occ[level][word] &^= 1 << uint(bit)
+				}
+			}
+		}
+	}
+}
+
+// filterHeap drops cancelled events from a heap slice and restores the
+// heap property.
+func (w *timingWheel) filterHeap(q []int32) []int32 {
+	kept := q[:0]
+	for _, idx := range q {
+		if w.sim.arena[idx].state == stateCancelled {
+			w.sim.release(idx)
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		w.siftDown(kept, i)
+	}
+	return kept
+}
+
+// Heap primitives over (at, seq), shared by curq and far. Identical
+// ordering to the Simulator's main heap, which is what makes the wheel an
+// exact substitute.
+
+func (w *timingWheel) heapPush(q *[]int32, idx int32) {
+	*q = append(*q, idx)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.sim.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (w *timingWheel) heapPop(q *[]int32) {
+	h := *q
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	if n > 0 {
+		w.siftDown(h[:n], 0)
+	}
+}
+
+func (w *timingWheel) siftDown(h []int32, i int) {
+	n := len(h)
+	node := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && w.sim.less(h[r], h[child]) {
+			child = r
+		}
+		if !w.sim.less(h[child], node) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = node
+}
+
+// UseWheel switches the simulator's event queue to a hierarchical timing
+// wheel with the given tick granularity in seconds (for a dense run, the
+// horizon divided by about 2^20 works well: the three-level span then
+// covers 16 horizons before the far heap is needed). It must be called
+// while no events are pending — queue choice is per run, decided before
+// scheduling starts — and panics otherwise, like any scheduling bug.
+// Queue choice never affects results, only speed.
+func (s *Simulator) UseWheel(tick Time) {
+	if !(tick > 0) || math.IsInf(tick, 1) {
+		panic(fmt.Errorf("desim: wheel tick %g (want a positive, finite granularity)", tick))
+	}
+	if s.Pending() > 0 {
+		panic(fmt.Errorf("desim: UseWheel with %d events pending", s.Pending()))
+	}
+	if s.wheel == nil && s.wheelSpare != nil {
+		s.wheel, s.wheelSpare = s.wheelSpare, nil
+	}
+	if s.wheel != nil {
+		s.wheel.tick, s.wheel.inv = tick, 1/tick
+		s.wheel.reset()
+		return
+	}
+	s.wheel = newTimingWheel(s, tick)
+}
+
+// UseHeap switches the simulator back to the binary-heap event queue (the
+// default). Like UseWheel it requires an empty queue. The wheel's storage
+// is parked for reuse, so alternating runs do not reallocate it.
+func (s *Simulator) UseHeap() {
+	if s.Pending() > 0 {
+		panic(fmt.Errorf("desim: UseHeap with %d events pending", s.Pending()))
+	}
+	if s.wheel != nil {
+		s.wheelSpare, s.wheel = s.wheel, nil
+	}
+}
+
+// QueueKind names the active event queue: "heap" or "wheel".
+func (s *Simulator) QueueKind() string {
+	if s.wheel != nil {
+		return "wheel"
+	}
+	return "heap"
+}

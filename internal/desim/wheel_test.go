@@ -1,0 +1,253 @@
+package desim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// runRecorded drives one randomized schedule storm against a simulator and
+// records the (time, tag) sequence of fired events. The workload exercises
+// nested scheduling from callbacks, FIFO ties, cancellations and far-future
+// events — every path whose order the wheel must reproduce exactly.
+func runRecorded(t *testing.T, s *Simulator, seed int64) []struct {
+	at  Time
+	tag int
+} {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var fired []struct {
+		at  Time
+		tag int
+	}
+	next := 0
+	var handles []Handle
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			tag := next
+			next++
+			var d Time
+			switch rng.Intn(10) {
+			case 0:
+				d = 0 // same-instant tie
+			case 1:
+				d = 1e6 * (1 + rng.Float64()) // far beyond any wheel span
+			default:
+				d = rng.Float64() * 10
+			}
+			h := s.After(d, func() {
+				fired = append(fired, struct {
+					at  Time
+					tag int
+				}{s.Now(), tag})
+				if depth < 3 && rng.Intn(3) == 0 {
+					schedule(depth + 1)
+				}
+			})
+			handles = append(handles, h)
+			if rng.Intn(5) == 0 && len(handles) > 0 {
+				handles[rng.Intn(len(handles))].Cancel()
+			}
+		}
+	}
+	for round := 0; round < 30; round++ {
+		schedule(0)
+		s.Run(s.Now() + rng.Float64()*20)
+	}
+	s.RunAll()
+	return fired
+}
+
+// TestWheelMatchesHeap is the exactness property the timing wheel rests
+// on: for randomized schedules, the wheel fires the identical (time, tag)
+// sequence as the binary heap. Note the callbacks consume a shared RNG, so
+// any ordering divergence cascades and cannot go unnoticed.
+func TestWheelMatchesHeap(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		heapSim := New()
+		want := runRecorded(t, heapSim, seed)
+
+		for _, tick := range []Time{1e-3, 0.25, 50} {
+			wheelSim := New()
+			wheelSim.UseWheel(tick)
+			got := runRecorded(t, wheelSim, seed)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d tick %g: wheel fired %d events, heap %d", seed, tick, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d tick %g: event %d = %+v, heap fired %+v", seed, tick, i, got[i], want[i])
+				}
+			}
+			hs, ws := heapSim.Stats(), wheelSim.Stats()
+			if hs.Fired != ws.Fired || hs.Scheduled != ws.Scheduled {
+				t.Fatalf("seed %d tick %g: stats diverge: heap %+v wheel %+v", seed, tick, hs, ws)
+			}
+		}
+	}
+}
+
+// TestWheelFIFOTies checks same-instant events fire in scheduling order
+// across slot, cascade and far paths.
+func TestWheelFIFOTies(t *testing.T) {
+	s := New()
+	s.UseWheel(0.5)
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		s.At(3, func() { order = append(order, i) })
+	}
+	// Far-heap entries at the same instant, scheduled after.
+	for i := 20; i < 25; i++ {
+		i := i
+		s.At(1e9, func() { order = append(order, i) })
+	}
+	for i := 25; i < 30; i++ {
+		i := i
+		s.At(1e9, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	if len(order) != 30 {
+		t.Fatalf("fired %d of 30", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("position %d fired tag %d (want FIFO order)", i, got)
+		}
+	}
+}
+
+// TestWheelHorizonAndResume checks Run's horizon semantics: events at the
+// horizon fire, later ones stay queued and fire on a later Run, and the
+// clock lands on the horizon when the queue drains early.
+func TestWheelHorizonAndResume(t *testing.T) {
+	s := New()
+	s.UseWheel(0.1)
+	var fired []Time
+	for _, at := range []Time{1, 5, 5.0001, 42, 1e7} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.Run(5)
+	if len(fired) != 2 || s.Now() != 5 {
+		t.Fatalf("after Run(5): fired %v, now %g", fired, s.Now())
+	}
+	s.Run(50)
+	if len(fired) != 4 || s.Now() != 50 {
+		t.Fatalf("after Run(50): fired %v, now %g", fired, s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want the far event", s.Pending())
+	}
+	s.RunAll()
+	if len(fired) != 5 || s.Now() != 1e7 {
+		t.Fatalf("after RunAll: fired %v, now %g", fired, s.Now())
+	}
+}
+
+// TestWheelCancelAndCompact checks lazy cancellation on the wheel:
+// cancelled events never fire, outnumbering cancels trigger a compaction
+// pass, and slots are actually reclaimed.
+func TestWheelCancelAndCompact(t *testing.T) {
+	s := New()
+	s.UseWheel(0.01)
+	fired := 0
+	var handles []Handle
+	for i := 0; i < 500; i++ {
+		d := Time(i%97)*0.37 + 0.01
+		if i%50 == 0 {
+			d = 1e8 // some on the far heap
+		}
+		handles = append(handles, s.After(d, func() { fired++ }))
+	}
+	for i, h := range handles {
+		if i%3 != 0 { // cancel 2 of 3 so cancels outnumber live events
+			if !h.Cancel() {
+				t.Fatalf("cancel %d failed", i)
+			}
+		}
+	}
+	s.RunAll()
+	if fired != 167 {
+		t.Fatalf("fired %d, want 167", fired)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("expected at least one compaction pass")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after RunAll", s.Pending())
+	}
+}
+
+// TestWheelResetMatchesFresh checks a Reset (or re-UseWheel) simulator
+// reproduces a fresh one bit for bit, the arena-reuse contract.
+func TestWheelResetMatchesFresh(t *testing.T) {
+	fresh := New()
+	fresh.UseWheel(0.2)
+	want := runRecorded(t, fresh, 99)
+
+	reused := New()
+	reused.UseWheel(0.2)
+	runRecorded(t, reused, 7) // dirty it with a different workload
+	reused.Reset()
+	got := runRecorded(t, reused, 99)
+	if len(got) != len(want) {
+		t.Fatalf("reused fired %d events, fresh %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, fresh fired %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWheelQueueSwitch checks UseWheel/UseHeap flip the queue only while
+// empty and report the active kind.
+func TestWheelQueueSwitch(t *testing.T) {
+	s := New()
+	if s.QueueKind() != "heap" {
+		t.Fatalf("default queue %q", s.QueueKind())
+	}
+	s.UseWheel(1)
+	if s.QueueKind() != "wheel" {
+		t.Fatalf("queue %q after UseWheel", s.QueueKind())
+	}
+	s.UseHeap()
+	s.UseWheel(2) // reuses the parked wheel with a new granularity
+	if s.QueueKind() != "wheel" {
+		t.Fatalf("queue %q after re-UseWheel", s.QueueKind())
+	}
+	s.After(1, func() {})
+	mustPanic(t, func() { s.UseHeap() })
+	mustPanic(t, func() { s.UseWheel(1) })
+	s.RunAll()
+	s.UseHeap()
+	mustPanic(t, func() { s.UseWheel(0) })
+	mustPanic(t, func() { s.UseWheel(math.Inf(1)) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// TestWheelInfinityEvent checks +Inf firing times (legal on the heap) are
+// clamped into the far bucket and still fire last, in order.
+func TestWheelInfinityEvent(t *testing.T) {
+	s := New()
+	s.UseWheel(0.5)
+	var order []int
+	s.At(math.Inf(1), func() { order = append(order, 2) })
+	s.At(3, func() { order = append(order, 1) })
+	s.RunAll()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order %v", order)
+	}
+}

@@ -79,8 +79,34 @@ func (p *Pool) Acquire(ctx context.Context) error {
 	}
 }
 
-// Release returns one slot. Calls must pair with a successful Acquire; an
-// unpaired Release panics immediately instead of corrupting the slot
+// TryAcquire takes one slot only if one is free right now, without
+// blocking; it reports whether a slot was taken. A nil pool is unbounded
+// and always succeeds. Sharded cluster runs use this to claim extra cores
+// for their sibling shards: the caller already holds one slot for the run
+// itself, and blocking here for more would let slot-holders wait on each
+// other — the deadlock the package contract rules out.
+func (p *Pool) TryAcquire() bool {
+	if p == nil {
+		return true
+	}
+	select {
+	case p.slots <- struct{}{}:
+		n := p.active.Add(1)
+		for {
+			old := p.peak.Load()
+			if n <= old || p.peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		p.units.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns one slot. Calls must pair with a successful Acquire or
+// TryAcquire; an unpaired Release panics immediately instead of corrupting the slot
 // count and deadlocking some later, unrelated Acquire.
 func (p *Pool) Release() {
 	if p == nil {

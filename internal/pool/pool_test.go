@@ -114,6 +114,39 @@ func TestAcquireDoneContextNeverAdmits(t *testing.T) {
 	}
 }
 
+// TestTryAcquire: non-blocking claims succeed exactly while slots are
+// free, fail immediately at capacity, and feed the same occupancy
+// accounting as Acquire.
+func TestTryAcquire(t *testing.T) {
+	p, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if p.TryAcquire() {
+		t.Fatal("TryAcquire succeeded at capacity")
+	}
+	if p.Active() != 2 || p.Peak() != 2 || p.Units() != 2 {
+		t.Fatalf("accounting: active=%d peak=%d units=%d", p.Active(), p.Peak(), p.Units())
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release freed a slot")
+	}
+	p.Release()
+	p.Release()
+	if p.Active() != 0 {
+		t.Fatalf("active=%d after releasing all", p.Active())
+	}
+	var nilPool *Pool
+	if !nilPool.TryAcquire() {
+		t.Fatal("nil pool TryAcquire must succeed (unbounded)")
+	}
+	nilPool.Release()
+}
+
 // TestUnpairedReleasePanics: an unbalanced Release must fail loudly at the
 // bug, not grow the slot count and deadlock a later Acquire.
 func TestUnpairedReleasePanics(t *testing.T) {

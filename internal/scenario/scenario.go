@@ -81,6 +81,12 @@ type Scenario struct {
 	// Replication configures the independent-replications study; nil means
 	// a single run.
 	Replication *Replication `json:"replication,omitempty"`
+
+	// EventQueue selects the discrete-event queue implementation per
+	// shard: "heap", "wheel", or ""/"auto" (heap for sequential runs, a
+	// density heuristic for sharded ones). The queues fire events in the
+	// identical order, so the choice never changes results.
+	EventQueue string `json:"event_queue,omitempty"`
 }
 
 // Service describes one hosted service.
@@ -282,6 +288,13 @@ type Replication struct {
 
 	// TimeoutSec is the wall-clock budget in seconds; zero means none.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Shards partitions each replication's fleet into up to this many
+	// independently simulated shards run on concurrent goroutines
+	// (dedicated mode only — a consolidated fleet is one coupling
+	// component). Zero or one means sequential. Like Workers, the shard
+	// count never changes results.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Parse strictly decodes one scenario from JSON: unknown fields are
@@ -448,6 +461,14 @@ func (s Scenario) validate() error {
 		if r.TimeoutSec < 0 || math.IsNaN(r.TimeoutSec) {
 			return fmt.Errorf("%w: replication timeout_sec %g", ErrInvalid, r.TimeoutSec)
 		}
+		if r.Shards < 0 {
+			return fmt.Errorf("%w: replication shards %d", ErrInvalid, r.Shards)
+		}
+	}
+	switch s.EventQueue {
+	case "", "auto", "heap", "wheel":
+	default:
+		return fmt.Errorf("%w: event_queue %q (want auto, heap or wheel)", ErrInvalid, s.EventQueue)
 	}
 	return nil
 }

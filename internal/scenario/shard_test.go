@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// shardTestHorizon keeps the whole example corpus cheap enough to run at
+// three shard counts each: the saturation scenarios push thousands of
+// arrivals per second, so a few simulated seconds already exercise every
+// dispatch, admission and completion path.
+const shardTestHorizon = 4.0
+
+// runExampleAt compiles one example scenario and runs a single cluster
+// replication at the given shard count, returning the Result with the Obs
+// snapshot stripped (per-shard engine counters legitimately differ between
+// shard layouts; the physics must not).
+func runExampleAt(t *testing.T, file string, shards int, queue string) *cluster.Result {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Horizon > shardTestHorizon {
+		s.Horizon = shardTestHorizon
+	}
+	if s.Warmup != nil && *s.Warmup > 1 {
+		w := 1.0
+		s.Warmup = &w
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyDefaults()
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Cluster
+	cfg.Shards = shards
+	cfg.EventQueue = queue
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Obs = obs.Snapshot{}
+	return res
+}
+
+// TestShardedExamplesMatchUnsharded is the shard-determinism golden test:
+// every shipped example scenario must produce identical Results at shards
+// 1, 2 and 4 — byte-for-byte equal service metrics, host utilizations,
+// failure counts and windows. Sharding partitions the run across coupling
+// components, which exchange no events, so any divergence is a bug in the
+// partitioning, the per-shard arenas, or the merge.
+func TestShardedExamplesMatchUnsharded(t *testing.T) {
+	for _, file := range exampleFiles(t) {
+		name := strings.TrimSuffix(filepath.Base(file), ".json")
+		t.Run(name, func(t *testing.T) {
+			want := runExampleAt(t, file, 1, "")
+			for _, n := range []int{2, 4} {
+				got := runExampleAt(t, file, n, "")
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("shards=%d diverged from shards=1:\nwant %v\ngot  %v", n, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedQueueChoiceMatches pins the other half of the determinism
+// contract: for a fixed shard count, the heap and the timing-wheel queues
+// pop events in the identical order, so forcing either must reproduce the
+// auto-selected Result exactly.
+func TestShardedQueueChoiceMatches(t *testing.T) {
+	file := filepath.Join(examplesDir, "sharded-fleet.json")
+	want := runExampleAt(t, file, 4, "heap")
+	for _, queue := range []string{"auto", "wheel"} {
+		got := runExampleAt(t, file, 4, queue)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("queue=%s diverged from queue=heap:\nwant %v\ngot  %v", queue, want, got)
+		}
+	}
+}
+
+// TestShardedExampleProducesWork guards the fixture itself: the sharded
+// example must actually serve traffic in every service, or the determinism
+// assertions above would vacuously pass on an idle fleet.
+func TestShardedExampleProducesWork(t *testing.T) {
+	res := runExampleAt(t, filepath.Join(examplesDir, "sharded-fleet.json"), 4, "")
+	for _, svc := range res.Services {
+		if svc.Served == 0 || math.IsNaN(svc.Throughput) {
+			t.Errorf("service %s served nothing (throughput %v)", svc.Name, svc.Throughput)
+		}
+	}
+}

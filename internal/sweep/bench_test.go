@@ -91,13 +91,15 @@ func BenchmarkRepro(b *testing.B) {
 }
 
 // BenchmarkSweepPointKey measures the content-address computation — paid
-// once per point per run, hit or miss.
+// once per point per run, hit or miss — on the engine's buffered path
+// (one pointKeyer reused across the points of a RunPoints call).
 func BenchmarkSweepPointKey(b *testing.B) {
 	sp := benchSpec(b)
+	ky := newPointKeyer()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := PointKey(sp.Base); err != nil {
+		if _, err := ky.key(sp.Base); err != nil {
 			b.Fatal(err)
 		}
 	}

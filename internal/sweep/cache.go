@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -143,25 +144,62 @@ func Key(parts ...string) string {
 
 // PointKey derives the content address of one scenario point: the SHA-256
 // of (engine version, resolved scenario JSON, replication config). The
-// replication worker count is zeroed first — workers change wall-clock
-// time, never results — and scenarios with a wall-clock timeout are not
-// cacheable at all (the completed prefix depends on machine speed), which
-// cacheablePoint guards.
+// replication worker and shard counts are zeroed and the event-queue
+// selection blanked first — they change wall-clock time, never results,
+// so they must not split the cache — and scenarios with a wall-clock
+// timeout are not cacheable at all (the completed prefix depends on
+// machine speed), which cacheablePoint guards.
 func PointKey(s scenario.Scenario) (string, error) {
+	return newPointKeyer().key(s)
+}
+
+// keyEnvelope is the hashed form of one point.
+type keyEnvelope struct {
+	Engine      string               `json:"engine"`
+	Scenario    scenario.Scenario    `json:"scenario"`
+	Replication scenario.Replication `json:"replication"`
+}
+
+// pointKeyer computes PointKey with reusable marshal buffers and
+// heap-resident scratch (the envelope and normalized replication live in
+// the keyer, so neither escapes per call), so keying the many points of
+// one engine run stops allocating a fresh JSON blob per point. Not safe
+// for concurrent use; the engine pools keyers.
+type pointKeyer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+	env keyEnvelope
+	rep scenario.Replication
+}
+
+func newPointKeyer() *pointKeyer {
+	k := &pointKeyer{}
+	k.enc = json.NewEncoder(&k.buf)
+	return k
+}
+
+// key returns the identical content address PointKey does — cache entries
+// written by either path satisfy lookups from the other.
+func (k *pointKeyer) key(s scenario.Scenario) (string, error) {
 	s.ApplyDefaults()
-	rep := *s.Replication
-	rep.Workers = 0
-	s.Replication = &rep
-	blob, err := json.Marshal(struct {
-		Engine      string               `json:"engine"`
-		Scenario    scenario.Scenario    `json:"scenario"`
-		Replication scenario.Replication `json:"replication"`
-	}{EngineVersion, s, rep})
-	if err != nil {
+	k.rep = *s.Replication
+	k.rep.Workers = 0
+	k.rep.Shards = 0
+	s.Replication = &k.rep
+	s.EventQueue = ""
+	k.buf.Reset()
+	k.env = keyEnvelope{EngineVersion, s, k.rep}
+	if err := k.enc.Encode(&k.env); err != nil {
 		return "", fmt.Errorf("sweep: encoding point key: %w", err)
 	}
+	blob := k.buf.Bytes()
+	// Encoder appends a newline Marshal does not; hash the bare JSON so
+	// keys match every cache entry written before the buffered path.
+	blob = blob[:len(blob)-1]
 	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:]), nil
+	var dst [2 * sha256.Size]byte
+	hex.Encode(dst[:], sum[:])
+	return string(dst[:]), nil
 }
 
 // cacheablePoint reports whether a point's result is machine-independent

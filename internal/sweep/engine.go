@@ -22,6 +22,10 @@ type Engine struct {
 	cache  *Cache
 	reg    *obs.Registry
 	arenas *cluster.ArenaPool
+	// keyers shares pointKeyer marshal buffers across concurrent point
+	// goroutines (a pointer: Scoped copies the Engine by value, and the
+	// scoped view must reuse the same buffers, not copy the sync.Pool).
+	keyers *sync.Pool
 	scope  string
 }
 
@@ -34,7 +38,13 @@ func NewEngine(p *pool.Pool, c *Cache, reg *obs.Registry) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Engine{pool: p, cache: c, reg: reg, arenas: cluster.NewArenaPool()}
+	return &Engine{
+		pool:   p,
+		cache:  c,
+		reg:    reg,
+		arenas: cluster.NewArenaPool(),
+		keyers: &sync.Pool{New: func() any { return newPointKeyer() }},
+	}
 }
 
 // Scoped returns a view of the engine whose progress counters carry the
@@ -123,7 +133,9 @@ func (e *Engine) runPoint(ctx context.Context, p Point, hits, misses, writeErrs 
 	cacheable := e.cache != nil && cacheablePoint(p.Scenario)
 	var key string
 	if cacheable {
-		k, err := PointKey(p.Scenario)
+		ky := e.keyers.Get().(*pointKeyer)
+		k, err := ky.key(p.Scenario)
+		e.keyers.Put(ky)
 		if err != nil {
 			return PointResult{}, err
 		}

@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -277,6 +279,61 @@ func TestPointKeySemantics(t *testing.T) {
 	}
 	if kd == ka {
 		t.Fatal("PointKey ignores the seed")
+	}
+
+	// Shard count and queue choice change wall-clock time, never results:
+	// they must hit the same cache entry.
+	e := base()
+	e.Replication.Shards = 4
+	e.EventQueue = "wheel"
+	ke, err := PointKey(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke != ka {
+		t.Fatal("PointKey depends on shards or the event queue")
+	}
+}
+
+// TestPointKeyerMatchesMarshal pins the buffered keyer to the original
+// Marshal-based computation byte for byte — a drifting key would silently
+// orphan every cache entry written before the buffered path existed.
+func TestPointKeyerMatchesMarshal(t *testing.T) {
+	sp, err := ParseSpecBytes([]byte(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ky := newPointKeyer()
+	for _, p := range points {
+		s := p.Scenario
+		s.ApplyDefaults()
+		rep := *s.Replication
+		rep.Workers = 0
+		rep.Shards = 0
+		s.Replication = &rep
+		s.EventQueue = ""
+		blob, err := json.Marshal(struct {
+			Engine      string               `json:"engine"`
+			Scenario    scenario.Scenario    `json:"scenario"`
+			Replication scenario.Replication `json:"replication"`
+		}{EngineVersion, s, rep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(blob)
+		want := hex.EncodeToString(sum[:])
+
+		got, err := ky.key(p.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("point %d: buffered key %s, Marshal-based %s", p.Index, got, want)
+		}
 	}
 }
 
