@@ -1,0 +1,116 @@
+// Command consolidated-load drives a running consolidated service with
+// SPECweb-style sessions — diurnal NHPP session arrivals, geometric
+// request counts, exponential think gaps — and writes a JSON report with
+// throughput, error counts and latency percentiles.
+//
+//	consolidated-load -url http://127.0.0.1:8080 -duration 10s -o report.json
+//
+// With -max-p99 and/or -max-error-rate set it doubles as a gate: the exit
+// code is 1 when the measured p99 latency or error rate exceeds the
+// threshold, which is how CI fails the build on a serving regression.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 on success, 1 on a failed run or a
+// violated threshold, 2 on a usage error.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("consolidated-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url          = fs.String("url", "", "base URL of the consolidated service (required)")
+		duration     = fs.Duration("duration", 10*time.Second, "run length")
+		rate         = fs.Float64("rate", 50, "mean session arrival rate (sessions/s)")
+		meanRequests = fs.Float64("mean-requests", 5, "mean requests per session (geometric)")
+		think        = fs.Duration("think", 50*time.Millisecond, "mean think gap between a session's requests")
+		workers      = fs.Int("workers", 64, "maximum concurrent in-flight requests")
+		timeout      = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		seed         = fs.Uint64("seed", 1, "schedule seed (same seed, same request sequence)")
+		out          = fs.String("o", "", "write the JSON report here ('-' or empty = stdout)")
+		maxP99       = fs.Float64("max-p99", 0, "fail (exit 1) if p99 latency exceeds this many milliseconds (0 disables)")
+		maxErrRate   = fs.Float64("max-error-rate", -1, "fail (exit 1) if the error rate exceeds this fraction (negative disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "consolidated-load: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *url == "" {
+		fmt.Fprintln(stderr, "consolidated-load: -url is required")
+		return 2
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:      *url,
+		Duration:     *duration,
+		SessionRate:  *rate,
+		MeanRequests: *meanRequests,
+		ThinkMean:    *think,
+		Workers:      *workers,
+		Timeout:      *timeout,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "consolidated-load: %v\n", err)
+		return 2
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "consolidated-load: encode report: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" || *out == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintf(stderr, "consolidated-load: write report: %v\n", err)
+			return 1
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "consolidated-load: write report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d requests, %.1f req/s, p99 %.2fms, error rate %.4f\n",
+			*out, rep.Requests, rep.Throughput, rep.Latency.P99, rep.ErrorRate)
+	}
+
+	if rep.Requests == 0 {
+		fmt.Fprintln(stderr, "consolidated-load: no requests completed")
+		return 1
+	}
+	failed := false
+	if *maxP99 > 0 && rep.Latency.P99 > *maxP99 {
+		fmt.Fprintf(stderr, "consolidated-load: p99 %.2fms exceeds threshold %.2fms\n", rep.Latency.P99, *maxP99)
+		failed = true
+	}
+	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
+		fmt.Fprintf(stderr, "consolidated-load: error rate %.4f exceeds threshold %.4f (%d errors: %d timeouts, %d transport)\n",
+			rep.ErrorRate, *maxErrRate, rep.Errors, rep.Timeouts, rep.Transport)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

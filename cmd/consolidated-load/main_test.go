@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func startService(t *testing.T) string {
+	t.Helper()
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunWritesReportAndPassesGates(t *testing.T) {
+	url := startService(t)
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-url", url, "-duration", "700ms", "-rate", "40", "-seed", "7",
+		"-o", out, "-max-p99", "2000", "-max-error-rate", "0",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Requests int64 `json:"requests"`
+		Errors   int64 `json:"errors"`
+		Latency  struct {
+			P99 float64 `json:"p99_ms"`
+		} `json:"latency"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 || rep.Latency.P99 <= 0 {
+		t.Fatalf("implausible report: %s", data)
+	}
+}
+
+func TestReportToStdout(t *testing.T) {
+	url := startService(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-url", url, "-duration", "300ms", "-rate", "30",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout.String())
+	}
+}
+
+// TestGateFailsOnErrors: a server that always 500s trips -max-error-rate.
+func TestGateFailsOnErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-url", ts.URL, "-duration", "300ms", "-rate", "30", "-o", filepath.Join(t.TempDir(), "r.json"),
+		"-max-error-rate", "0",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %s)", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("error rate")) {
+		t.Fatalf("stderr missing error-rate diagnostic: %s", stderr.String())
+	}
+}
+
+// TestGateFailsOnP99: an impossible p99 threshold trips the latency gate.
+func TestGateFailsOnP99(t *testing.T) {
+	url := startService(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-url", url, "-duration", "300ms", "-rate", "30", "-o", filepath.Join(t.TempDir(), "r.json"),
+		"-max-p99", "0.000001",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %s)", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("p99")) {
+		t.Fatalf("stderr missing p99 diagnostic: %s", stderr.String())
+	}
+}
+
+func TestUsage(t *testing.T) {
+	cases := [][]string{
+		{},                                      // missing -url
+		{"-no-such-flag"},                       // unknown flag
+		{"-url", "x", "stray"},                  // positional
+		{"-url", "http://e", "-duration", "0s"}, // rejected by loadgen config validation
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), args, &stdout, &stderr); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr %s)", args, code, stderr.String())
+		}
+	}
+}

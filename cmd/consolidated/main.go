@@ -1,0 +1,132 @@
+// Command consolidated serves the capacity-planning API over HTTP/JSON:
+// the paper's analytic questions as single-query GET endpoints
+// (/v1/servers, /v1/loss), a batch endpoint (/v1/batch), what-if sweeps
+// lowered onto the sweep engine (/v1/sweep), and operational endpoints
+// (/healthz, /readyz, /metrics).
+//
+//	consolidated -addr 127.0.0.1:8080 -cache artifacts/cache
+//
+// On SIGINT/SIGTERM the server flips /readyz to 503 (so load balancers
+// stop sending traffic), then drains in-flight connections for up to
+// -drain before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 on a clean serve-and-drain cycle, 1
+// on a runtime failure, 2 on a usage error.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("consolidated", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		cacheDir    = fs.String("cache", "", "sweep result cache directory (empty disables caching)")
+		workers     = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request work bound for POST endpoints")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+		maxBody     = fs.Int64("max-body", 1<<20, "maximum POST body bytes")
+		maxSweep    = fs.Int("max-sweep-points", 256, "maximum expanded grid size per sweep request")
+		maxBatch    = fs.Int("max-batch", 4096, "maximum queries per batch request")
+		readHeader  = fs.Duration("read-header-timeout", 5*time.Second, "connection read-header timeout")
+		idleTimeout = fs.Duration("idle-timeout", 60*time.Second, "keep-alive idle timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "consolidated: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	cfg := serve.Config{
+		MaxBodyBytes:    *maxBody,
+		MaxBatchQueries: *maxBatch,
+		MaxSweepPoints:  *maxSweep,
+		RequestTimeout:  *reqTimeout,
+	}
+	if *workers != 0 {
+		p, err := pool.New(*workers)
+		if err != nil {
+			fmt.Fprintf(stderr, "consolidated: %v\n", err)
+			return 2
+		}
+		cfg.Pool = p
+	}
+	if *cacheDir != "" {
+		cache, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "consolidated: open cache: %v\n", err)
+			return 1
+		}
+		cfg.Cache = cache
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "consolidated: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "consolidated: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: *readHeader,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	// The "listening on" line is the boot handshake: tests and the CI
+	// smoke job wait for it before sending traffic.
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "consolidated: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Shutdown sequence: stop advertising readiness first, then drain.
+	srv.SetReady(false)
+	fmt.Fprintf(stdout, "shutting down (drain %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "consolidated: drain: %v\n", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "consolidated: serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "bye")
+	return 0
+}

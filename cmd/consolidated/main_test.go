@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bootServer starts run() on an ephemeral port and returns the base URL
+// plus a shutdown func that cancels the context and returns the exit code.
+func bootServer(t *testing.T, extraArgs ...string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	var stderr bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	done := make(chan int, 1)
+	go func() {
+		code := run(ctx, args, pw, &stderr)
+		pw.Close()
+		done <- code
+	}()
+
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		cancel()
+		t.Fatalf("no boot line: %v (stderr %q)", err, stderr.String())
+	}
+	go io.Copy(io.Discard, pr) // keep later writes from blocking the pipe
+	const prefix = "listening on "
+	if !strings.HasPrefix(line, prefix) {
+		cancel()
+		t.Fatalf("unexpected boot line %q", line)
+	}
+	base := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	var once sync.Once
+	shutdown := func() int {
+		once.Do(cancel)
+		select {
+		case code := <-done:
+			done <- code
+			return code
+		case <-time.After(15 * time.Second):
+			t.Fatalf("server did not shut down (stderr %q)", stderr.String())
+			return -1
+		}
+	}
+	t.Cleanup(func() { shutdown() })
+	return base, shutdown
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServeAndGracefulShutdown(t *testing.T) {
+	base, shutdown := bootServer(t)
+
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Fatalf("healthz %d", code)
+	}
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("readyz %d", code)
+	}
+	code, body := get(t, base+"/v1/servers?rho=120&target=0.001")
+	if code != 200 {
+		t.Fatalf("servers %d: %s", code, body)
+	}
+	var ans struct {
+		Servers int `json:"servers"`
+	}
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Servers != 151 {
+		t.Fatalf("servers = %d, want 151", ans.Servers)
+	}
+	if code, body := get(t, base+"/metrics"); code != 200 || !bytes.Contains(body, []byte("http/servers/requests")) {
+		t.Fatalf("metrics %d: %s", code, body)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestShutdownDrainsInflight: a request in flight when shutdown starts
+// still completes.
+func TestShutdownDrainsInflight(t *testing.T) {
+	base, shutdown := bootServer(t, "-drain", "10s")
+
+	// A sweep is the slowest endpoint we have; fire it and shut down
+	// while it runs.
+	body := `{"name":"drain","base":{"name":"d","mode":"consolidated","services":[{"profile":{"preset":"specweb-ecommerce"},"overhead":{"preset":"web"},"arrivals":{"kind":"poisson","rate":400},"dedicated_servers":2}],"fleet":{"hosts":2},"horizon":12,"seed":7},"axes":[{"path":"fleet.hosts","values":[2,3]}]}`
+	type result struct {
+		code int
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		resc <- result{code: resp.StatusCode}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the server
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", res.err)
+	}
+	if res.code != 200 {
+		t.Fatalf("in-flight request status %d, want 200", res.code)
+	}
+}
+
+func TestCacheFlag(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := bootServer(t, "-cache", dir)
+	body := `{"name":"cached","base":{"name":"c","mode":"consolidated","services":[{"profile":{"preset":"specweb-ecommerce"},"overhead":{"preset":"web"},"arrivals":{"kind":"poisson","rate":400},"dedicated_servers":2}],"fleet":{"hosts":2},"horizon":12,"seed":7},"axes":[{"path":"fleet.hosts","values":[2]}]}`
+	for pass := 0; pass < 2; pass++ {
+		resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("pass %d: status %d: %s", pass, resp.StatusCode, data)
+		}
+		var sr struct {
+			Points []struct {
+				CacheHit bool `json:"cache_hit"`
+			} `json:"points"`
+		}
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if want := pass == 1; len(sr.Points) != 1 || sr.Points[0].CacheHit != want {
+			t.Fatalf("pass %d: cache_hit = %+v, want %v", pass, sr.Points, want)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"stray-positional"},
+		{"-workers", "-3"},
+	}
+	for _, args := range cases {
+		t.Run(fmt.Sprint(args), func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(context.Background(), args, &out, &errb); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2 (stderr %q)", args, code, errb.String())
+			}
+		})
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+}

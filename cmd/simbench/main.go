@@ -1,6 +1,7 @@
 // Command simbench runs the simulation-core benchmarks — the
 // microbenchmarks (BenchmarkStationHighOccupancy, BenchmarkDesimSchedule*,
-// BenchmarkTimingWheel, BenchmarkSweep*) plus the whole-pipeline macro
+// BenchmarkTimingWheel, BenchmarkSweep*, BenchmarkServe*) plus the
+// whole-pipeline macro
 // benchmarks BenchmarkRepro and BenchmarkShardedRun — through `go test
 // -bench` and records ns/op, B/op, allocs/op and (for the whole-run
 // benchmarks) events/s in a JSON file, so the performance trajectory of
@@ -117,9 +118,9 @@ func main() {
 	man.Config = map[string]string{"benchtime": *benchtime, "macrotime": *macrotime}
 
 	records := runBench(
-		"BenchmarkStationHighOccupancy|BenchmarkDesimSchedule|BenchmarkTimingWheel|BenchmarkSweep|BenchmarkRepro",
+		"BenchmarkStationHighOccupancy|BenchmarkDesimSchedule|BenchmarkTimingWheel|BenchmarkSweep|BenchmarkRepro|BenchmarkServe",
 		*benchtime, true,
-		"./internal/cluster", "./internal/desim", "./internal/sweep")
+		"./internal/cluster", "./internal/desim", "./internal/sweep", "./internal/serve")
 	// The whole-run shard benchmark is ~10^5 slower per op than the
 	// microbenchmarks; a fixed 20000x count would run for hours, so it
 	// gets its own much smaller fixed count.

@@ -1,0 +1,313 @@
+package erlang
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Memo memoizes the Erlang B recursion per offered traffic ρ so that a
+// serving system answering the same capacity questions over and over pays
+// the O(n) recursion once and every later lookup is a table read.
+//
+// For each distinct ρ the memo keeps the recursion prefix
+//
+//	b[i] = B(i, ρ),  i = 0..len-1
+//
+// which answers every derived query without recomputation: B(n, ρ) is
+// b[n], Servers(ρ, target) is a binary search (b is strictly decreasing in
+// i for ρ > 0), and Erlang C, carried traffic and utilization are O(1)
+// arithmetic on b[n].
+//
+// Concurrency scheme: the full table set lives behind one atomic pointer
+// to an immutable map. Readers do a single atomic load and then touch only
+// immutable data — no locks, no allocation, no retries. Growth (a new ρ,
+// or a longer prefix for a known ρ) happens under a mutex: the grower
+// copies the map, installs the extended table, and publishes the new map
+// with one atomic store. Readers holding the old map still see correct
+// (just shorter) tables. Published prefixes are never mutated — extension
+// copies into a fresh slice — so a torn read is impossible by
+// construction.
+//
+// Memory is bounded: at most MaxRhos distinct traffics are memoized, each
+// with at most MaxPrefix recursion entries. Queries outside those bounds
+// fall back to the direct recursion — correct, just not O(1) — so a
+// client spraying distinct ρ values degrades throughput, never memory.
+type Memo struct {
+	tables atomic.Pointer[map[uint64]*rhoTable]
+
+	mu sync.Mutex // serializes growth; never held on the read path
+
+	maxRhos   int
+	maxPrefix int
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	fallback atomic.Uint64
+}
+
+// rhoTable is the immutable recursion prefix for one offered traffic.
+type rhoTable struct {
+	rho float64
+	b   []float64 // b[i] = B(i, rho); never mutated once published
+}
+
+// Memo sizing defaults: 4096 traffics × up to 64 Ki servers each bounds
+// the worst case around 2 GiB but typical serving workloads (tables grow
+// only as far as queries demand) at a few megabytes.
+const (
+	DefaultMaxRhos   = 4096
+	DefaultMaxPrefix = 1 << 16
+)
+
+// NewMemo returns an empty memo. maxRhos caps the number of distinct
+// traffic values memoized and maxPrefix the per-traffic table length;
+// zero or negative values select the package defaults.
+func NewMemo(maxRhos, maxPrefix int) *Memo {
+	if maxRhos <= 0 {
+		maxRhos = DefaultMaxRhos
+	}
+	if maxPrefix <= 0 {
+		maxPrefix = DefaultMaxPrefix
+	}
+	m := &Memo{maxRhos: maxRhos, maxPrefix: maxPrefix}
+	empty := map[uint64]*rhoTable{}
+	m.tables.Store(&empty)
+	return m
+}
+
+// Hits reports lookups served entirely from published tables.
+func (m *Memo) Hits() uint64 { return m.hits.Load() }
+
+// Misses reports lookups that had to grow a table.
+func (m *Memo) Misses() uint64 { return m.misses.Load() }
+
+// Fallbacks reports lookups answered by the direct recursion because a
+// capacity bound (MaxRhos or MaxPrefix) was hit.
+func (m *Memo) Fallbacks() uint64 { return m.fallback.Load() }
+
+// Rhos reports the number of memoized traffic values.
+func (m *Memo) Rhos() int { return len(*m.tables.Load()) }
+
+// lookup returns the published table for rho, or nil.
+func (m *Memo) lookup(rho float64) *rhoTable {
+	return (*m.tables.Load())[math.Float64bits(rho)]
+}
+
+// B reports the Erlang B blocking probability B(n, rho), from the memo
+// when possible.
+func (m *Memo) B(n int, rho float64) (float64, error) {
+	if n < 0 || rho < 0 || math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return 0, fmt.Errorf("%w: B(n=%d, rho=%g)", ErrInvalidInput, n, rho)
+	}
+	if t := m.lookup(rho); t != nil && n < len(t.b) {
+		m.hits.Add(1)
+		return t.b[n], nil
+	}
+	if n >= m.maxPrefix {
+		m.fallback.Add(1)
+		return B(n, rho)
+	}
+	t, err := m.grow(rho, n+1, 0)
+	if err != nil {
+		return 0, err
+	}
+	return t.b[n], nil
+}
+
+// Servers reports the smallest n with B(n, rho) <= target, from the memo
+// when possible. The target must lie in (0, 1].
+func (m *Memo) Servers(rho, target float64) (int, error) {
+	if rho < 0 || math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return 0, fmt.Errorf("%w: Servers(rho=%g)", ErrInvalidInput, rho)
+	}
+	if target <= 0 || target > 1 || math.IsNaN(target) {
+		return 0, fmt.Errorf("%w: Servers(target=%g)", ErrInvalidInput, target)
+	}
+	if rho == 0 {
+		return 0, nil
+	}
+	if t := m.lookup(rho); t != nil {
+		if n, ok := t.search(target); ok {
+			m.hits.Add(1)
+			return n, nil
+		}
+	}
+	// The table (if any) is too short for this target. Grow it to cover
+	// the answer, unless the answer itself lies beyond the prefix cap.
+	n, err := Servers(rho, target, 0)
+	if err != nil {
+		return 0, err
+	}
+	if n >= m.maxPrefix {
+		m.fallback.Add(1)
+		return n, nil
+	}
+	if _, err := m.grow(rho, n+1, 0); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// C reports the Erlang C waiting probability for n servers offered rho
+// Erlangs, derived from the memoized B by the standard identity.
+func (m *Memo) C(n int, rho float64) (float64, error) {
+	if n <= 0 || rho < 0 || math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return 0, fmt.Errorf("%w: C(n=%d, rho=%g)", ErrInvalidInput, n, rho)
+	}
+	if rho >= float64(n) {
+		return 1, nil
+	}
+	b, err := m.B(n, rho)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * b / (float64(n) - rho*(1-b)), nil
+}
+
+// Utilization reports the mean per-server utilization of n servers
+// offered rho Erlangs, derived from the memoized B.
+func (m *Memo) Utilization(n int, rho float64) (float64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	b, err := m.B(n, rho)
+	if err != nil {
+		return 0, err
+	}
+	return rho * (1 - b) / float64(n), nil
+}
+
+// search finds the smallest n in the prefix with b[n] <= target. ok is
+// false when the prefix is too short to contain the answer.
+func (t *rhoTable) search(target float64) (n int, ok bool) {
+	last := len(t.b) - 1
+	if last < 0 || t.b[last] > target {
+		return 0, false
+	}
+	// b is non-increasing in n (strictly decreasing for rho > 0), so the
+	// predicate b[i] <= target is monotone: binary search for its first
+	// true position.
+	lo, hi := 0, last
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.b[mid] <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// grow publishes a table for rho covering at least minLen recursion
+// entries and returns it. pad reserves extra headroom beyond minLen so a
+// run of slowly increasing demands does not republish per step; growth
+// always at least doubles for the same reason. Returns an error only if
+// capacity bounds force a fallback and the direct recursion fails (which
+// validated inputs cannot).
+func (m *Memo) grow(rho float64, minLen, pad int) (*rhoTable, error) {
+	if minLen > m.maxPrefix {
+		minLen = m.maxPrefix
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	old := *m.tables.Load()
+	cur := old[math.Float64bits(rho)]
+	if cur != nil && len(cur.b) >= minLen {
+		// Another grower got here first.
+		return cur, nil
+	}
+	if cur == nil && len(old) >= m.maxRhos {
+		// Table budget exhausted: serve this traffic unmemoized.
+		m.fallback.Add(1)
+		return m.direct(rho, minLen)
+	}
+	m.misses.Add(1)
+
+	want := minLen + pad
+	if cur != nil && want < 2*len(cur.b) {
+		want = 2 * len(cur.b)
+	}
+	if want < 64 {
+		want = 64
+	}
+	if want > m.maxPrefix {
+		want = m.maxPrefix
+	}
+
+	b := make([]float64, want)
+	start := 1
+	if rho == 0 {
+		// Degenerate but valid: B(0,0)=1, B(n,0)=0.
+		b[0] = 1
+		for i := 1; i < want; i++ {
+			b[i] = 0
+		}
+	} else {
+		b[0] = 1
+		if cur != nil {
+			// Resume the recursion where the published prefix ends; the
+			// recursion is a pure left fold, so the continuation is exact.
+			copy(b, cur.b)
+			start = len(cur.b)
+		}
+		v := b[start-1]
+		for i := start; i < want; i++ {
+			v = rho * v / (float64(i) + rho*v)
+			b[i] = v
+		}
+	}
+
+	next := make(map[uint64]*rhoTable, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	t := &rhoTable{rho: rho, b: b}
+	next[math.Float64bits(rho)] = t
+	m.tables.Store(&next)
+	return t, nil
+}
+
+// direct builds a throwaway table via the plain recursion, without
+// publishing it — the overflow path when MaxRhos is exhausted.
+func (m *Memo) direct(rho float64, n int) (*rhoTable, error) {
+	b := make([]float64, n)
+	b[0] = 1
+	if rho == 0 {
+		for i := 1; i < n; i++ {
+			b[i] = 0
+		}
+		return &rhoTable{rho: rho, b: b}, nil
+	}
+	v := 1.0
+	for i := 1; i < n; i++ {
+		v = rho * v / (float64(i) + rho*v)
+		b[i] = v
+	}
+	return &rhoTable{rho: rho, b: b}, nil
+}
+
+// Preheat materializes tables for the given traffics up to servers
+// entries each, so a service can warm its cache before declaring itself
+// ready. Invalid inputs are reported, valid ones are still heated.
+func (m *Memo) Preheat(rhos []float64, servers int) error {
+	if servers <= 0 {
+		servers = 1024
+	}
+	var firstErr error
+	for _, rho := range rhos {
+		if rho < 0 || math.IsNaN(rho) || math.IsInf(rho, 0) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: Preheat(rho=%g)", ErrInvalidInput, rho)
+			}
+			continue
+		}
+		if _, err := m.grow(rho, servers, 0); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

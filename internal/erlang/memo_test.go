@@ -1,0 +1,218 @@
+package erlang
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestMemoMatchesDirect pins every memo query against the plain
+// implementations across a grid of traffics, server counts and targets,
+// including repeat queries that hit warm tables.
+func TestMemoMatchesDirect(t *testing.T) {
+	m := NewMemo(0, 0)
+	rhos := []float64{0, 0.1, 1, 5, 42.5, 120, 1000}
+	for pass := 0; pass < 2; pass++ { // second pass must hit warm tables
+		for _, rho := range rhos {
+			for _, n := range []int{0, 1, 2, 7, 50, 300} {
+				want := MustB(n, rho)
+				got, err := m.B(n, rho)
+				if err != nil {
+					t.Fatalf("Memo.B(%d, %g): %v", n, rho, err)
+				}
+				if got != want {
+					t.Errorf("Memo.B(%d, %g) = %g, want %g", n, rho, got, want)
+				}
+			}
+			for _, target := range []float64{0.5, 0.1, 0.01, 1e-4} {
+				want, err := Servers(rho, target, 0)
+				if err != nil {
+					t.Fatalf("Servers(%g, %g): %v", rho, target, err)
+				}
+				got, err := m.Servers(rho, target)
+				if err != nil {
+					t.Fatalf("Memo.Servers(%g, %g): %v", rho, target, err)
+				}
+				if got != want {
+					t.Errorf("Memo.Servers(%g, %g) = %d, want %d", rho, target, got, want)
+				}
+			}
+		}
+	}
+	for _, rho := range []float64{0.1, 5, 120} {
+		for _, n := range []int{1, 8, 200} {
+			wantC, _ := C(n, rho)
+			gotC, err := m.C(n, rho)
+			if err != nil || gotC != wantC {
+				t.Errorf("Memo.C(%d, %g) = %g, %v; want %g", n, rho, gotC, err, wantC)
+			}
+			wantU, _ := Utilization(n, rho)
+			gotU, err := m.Utilization(n, rho)
+			if err != nil || gotU != wantU {
+				t.Errorf("Memo.Utilization(%d, %g) = %g, %v; want %g", n, rho, gotU, err, wantU)
+			}
+		}
+	}
+}
+
+// TestMemoRejectsInvalid mirrors the plain functions' domain checks.
+func TestMemoRejectsInvalid(t *testing.T) {
+	m := NewMemo(0, 0)
+	if _, err := m.B(-1, 5); err == nil {
+		t.Error("B(-1, 5) accepted")
+	}
+	if _, err := m.B(3, -2); err == nil {
+		t.Error("B(3, -2) accepted")
+	}
+	if _, err := m.B(3, math.NaN()); err == nil {
+		t.Error("B(3, NaN) accepted")
+	}
+	if _, err := m.Servers(5, 0); err == nil {
+		t.Error("Servers(5, 0) accepted")
+	}
+	if _, err := m.Servers(5, 1.5); err == nil {
+		t.Error("Servers(5, 1.5) accepted")
+	}
+	if _, err := m.Servers(math.Inf(1), 0.1); err == nil {
+		t.Error("Servers(+Inf, 0.1) accepted")
+	}
+	if _, err := m.C(0, 5); err == nil {
+		t.Error("C(0, 5) accepted")
+	}
+	if _, err := m.Utilization(3, math.NaN()); err == nil {
+		t.Error("Utilization(3, NaN) accepted")
+	}
+}
+
+// TestMemoWarmPathAllocations proves the read path allocates nothing once
+// tables are warm — the property the serving hot path is built on.
+func TestMemoWarmPathAllocations(t *testing.T) {
+	m := NewMemo(0, 0)
+	if _, err := m.Servers(120, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.B(64, 120); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := m.Servers(120, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.B(64, 120); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.C(130, 120); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Utilization(130, 120); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm memo path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestMemoCaps exercises both capacity bounds: distinct-rho overflow falls
+// back without publishing, and prefix overflow answers directly.
+func TestMemoCaps(t *testing.T) {
+	m := NewMemo(2, 128)
+	for _, rho := range []float64{1, 2, 3, 4} {
+		got, err := m.B(5, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := MustB(5, rho); got != want {
+			t.Errorf("B(5, %g) = %g, want %g", rho, got, want)
+		}
+	}
+	if got := m.Rhos(); got != 2 {
+		t.Errorf("memoized %d rhos, want cap 2", got)
+	}
+	if m.Fallbacks() == 0 {
+		t.Error("rho overflow did not count a fallback")
+	}
+
+	// Prefix cap: the answer for this target needs > 128 servers.
+	want, err := Servers(200, 1e-6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want <= 128 {
+		t.Fatalf("test expects answer > 128, got %d", want)
+	}
+	got, err := m.Servers(200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Servers(200, 1e-6) = %d, want %d", got, want)
+	}
+	big, err := m.B(500, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantB := MustB(500, 200); big != wantB {
+		t.Errorf("B(500, 200) = %g, want %g", big, wantB)
+	}
+}
+
+// TestMemoConcurrentGrowth hammers one memo from many goroutines with
+// interleaved reads and growth; run under -race this is the proof of the
+// copy-on-write publication scheme.
+func TestMemoConcurrentGrowth(t *testing.T) {
+	m := NewMemo(0, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rho := float64(1 + (g*7+i)%40)
+				n := 1 + (g+i)%300
+				got, err := m.B(n, rho)
+				if err != nil {
+					t.Errorf("B(%d, %g): %v", n, rho, err)
+					return
+				}
+				if want := MustB(n, rho); got != want {
+					t.Errorf("B(%d, %g) = %g, want %g", n, rho, got, want)
+					return
+				}
+				if _, err := m.Servers(rho, 0.01); err != nil {
+					t.Errorf("Servers(%g, 0.01): %v", rho, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Hits() == 0 || m.Misses() == 0 {
+		t.Errorf("expected both hits and misses, got %d/%d", m.Hits(), m.Misses())
+	}
+}
+
+// TestMemoPreheat verifies preheated tables serve without growth and that
+// invalid traffics are reported but do not abort the rest.
+func TestMemoPreheat(t *testing.T) {
+	m := NewMemo(0, 0)
+	if err := m.Preheat([]float64{5, 120}, 512); err != nil {
+		t.Fatal(err)
+	}
+	misses := m.Misses()
+	if _, err := m.Servers(120, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.B(400, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Misses() != misses {
+		t.Errorf("preheated queries still grew tables (%d -> %d misses)", misses, m.Misses())
+	}
+	if err := m.Preheat([]float64{math.NaN(), 7}, 64); err == nil {
+		t.Error("Preheat(NaN) reported no error")
+	}
+	if m.lookup(7) == nil {
+		t.Error("valid rho after invalid one was not heated")
+	}
+}

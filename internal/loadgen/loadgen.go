@@ -1,0 +1,472 @@
+// Package loadgen is the load harness behind cmd/consolidated-load: it
+// drives the capacity-planning service with SPECweb-style user sessions —
+// session starts drawn from a non-homogeneous Poisson process following a
+// diurnal rate shape (internal/workload's NHPP, the burstiness structure
+// of Wang et al.'s virtualized-web characterization), each session issuing
+// a geometric number of requests separated by exponential think gaps — and
+// reports throughput, error counts and latency percentiles as JSON.
+//
+// The open-loop schedule (which request fires when, and at which endpoint)
+// is drawn on a single seeded stream before dispatch, so two runs with the
+// same seed issue the identical request sequence; only the measured
+// latencies differ.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DefaultShape is the diurnal session-rate profile: 24 "hours" of rate
+// multipliers (mean 1) with a night trough and an evening peak, compressed
+// onto the run duration. It is a coarse version of the paper's Fig. 2
+// daily cycle.
+var DefaultShape = []float64{
+	0.3, 0.2, 0.2, 0.2, 0.3, 0.4, 0.6, 0.9, 1.2, 1.4, 1.5, 1.4,
+	1.3, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.7, 1.4, 1.0, 0.7, 0.5,
+}
+
+// DefaultTargets is the request mix: the single-query hot endpoints with a
+// small rotating parameter set (so the service's Erlang memo sees repeat
+// traffic the way a real planning client would), plus a batch probe.
+var DefaultTargets = []Target{
+	{Path: "/v1/servers?rho=120&target=0.001", Weight: 4},
+	{Path: "/v1/servers?rho=42.5&target=0.01", Weight: 3},
+	{Path: "/v1/servers?rho=1000&target=0.0001", Weight: 2},
+	{Path: "/v1/loss?n=140&rho=120", Weight: 3},
+	{Path: "/v1/loss?n=8&rho=5", Weight: 2},
+	{Path: "/v1/batch", Weight: 1,
+		Body: `{"queries":[{"kind":"servers","rho":120,"target":0.001},{"kind":"traffic","n":8,"target":0.01}]}`},
+}
+
+// Target is one weighted endpoint of the request mix. A non-empty Body
+// makes it a POST.
+type Target struct {
+	Path   string
+	Weight int
+	Body   string
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+
+	// Duration is the wall-clock run length.
+	Duration time.Duration
+
+	// SessionRate is the mean session arrival rate (sessions/s); the
+	// instantaneous rate follows Shape around this mean.
+	SessionRate float64
+
+	// Shape is the diurnal rate profile (multipliers, any positive mean —
+	// it is renormalized); nil selects DefaultShape. The whole profile is
+	// compressed onto Duration and cycles if the run outlasts it.
+	Shape []float64
+
+	// MeanRequests is the mean geometric number of requests per session;
+	// 0 means 5.
+	MeanRequests float64
+
+	// ThinkMean is the mean exponential think gap between a session's
+	// requests; 0 means 50 ms.
+	ThinkMean time.Duration
+
+	// Workers caps concurrent in-flight requests; 0 means 64.
+	Workers int
+
+	// Timeout bounds one request; 0 means 5 s.
+	Timeout time.Duration
+
+	// Seed drives the schedule; 0 means 1.
+	Seed uint64
+
+	// Targets is the request mix; nil selects DefaultTargets.
+	Targets []Target
+
+	// Client is the HTTP client; nil builds one with keep-alives sized to
+	// Workers.
+	Client *http.Client
+}
+
+// Percentiles summarizes a latency population in milliseconds.
+type Percentiles struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Report is the JSON result of one run — the artifact the CI load gate
+// inspects.
+type Report struct {
+	BaseURL     string  `json:"base_url"`
+	StartedAt   string  `json:"started_at"`
+	DurationSec float64 `json:"duration_sec"`
+	Seed        uint64  `json:"seed"`
+
+	Sessions  int64 `json:"sessions"`
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	Timeouts  int64 `json:"timeouts"`
+	Transport int64 `json:"transport_errors"`
+
+	ErrorRate  float64 `json:"error_rate"`
+	Throughput float64 `json:"throughput_rps"`
+
+	Latency Percentiles `json:"latency"`
+
+	// StatusCounts maps HTTP status ("200", "400", ...) to request counts;
+	// transport failures count under "error".
+	StatusCounts map[string]int64 `json:"status_counts"`
+
+	// PerTarget breaks requests and errors down by request path.
+	PerTarget map[string]*TargetStats `json:"per_target"`
+}
+
+// TargetStats is the per-endpoint slice of the report.
+type TargetStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P99Ms    float64 `json:"p99_ms"`
+
+	lats []float64
+}
+
+// request is one scheduled request of the precomputed open-loop plan.
+type request struct {
+	at     time.Duration // offset from run start
+	target int           // index into cfg.Targets
+}
+
+// normalized validates cfg and fills defaults, returning the effective
+// configuration.
+func (cfg Config) normalized() (Config, error) {
+	if cfg.BaseURL == "" {
+		return cfg, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Duration <= 0 {
+		return cfg, fmt.Errorf("loadgen: Duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.SessionRate <= 0 || math.IsNaN(cfg.SessionRate) || math.IsInf(cfg.SessionRate, 0) {
+		return cfg, fmt.Errorf("loadgen: SessionRate must be positive, got %v", cfg.SessionRate)
+	}
+	if cfg.Workers < 0 {
+		return cfg, fmt.Errorf("loadgen: Workers=%d (negative; 0 selects the default)", cfg.Workers)
+	}
+	if cfg.Shape == nil {
+		cfg.Shape = DefaultShape
+	}
+	if cfg.MeanRequests == 0 {
+		cfg.MeanRequests = 5
+	}
+	if cfg.MeanRequests < 1 {
+		return cfg, fmt.Errorf("loadgen: MeanRequests must be >= 1, got %v", cfg.MeanRequests)
+	}
+	if cfg.ThinkMean == 0 {
+		cfg.ThinkMean = 50 * time.Millisecond
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 64
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Targets == nil {
+		cfg.Targets = DefaultTargets
+	}
+	for i, tgt := range cfg.Targets {
+		if tgt.Weight <= 0 || tgt.Path == "" {
+			return cfg, fmt.Errorf("loadgen: target %d needs a path and positive weight", i)
+		}
+	}
+	return cfg, nil
+}
+
+// Run executes one load run and returns its report. It only errors on an
+// unusable configuration; request failures are data, not errors.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers,
+				MaxIdleConnsPerHost: cfg.Workers,
+			},
+		}
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+
+	plan, sessions := buildPlan(cfg)
+
+	rec := &recorder{
+		statuses:  map[string]int64{},
+		perTarget: map[string]*TargetStats{},
+	}
+	for _, tgt := range cfg.Targets {
+		path := tgt.Path
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i]
+		}
+		if rec.perTarget[path] == nil {
+			rec.perTarget[path] = &TargetStats{}
+		}
+	}
+
+	started := time.Now()
+	runCtx, cancel := context.WithDeadline(ctx, started.Add(cfg.Duration+cfg.Timeout))
+	defer cancel()
+
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+dispatch:
+	for _, req := range plan {
+		wait := time.Until(started.Add(req.at))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		wg.Add(1)
+		go func(tgt Target) {
+			defer func() { <-sem; wg.Done() }()
+			fire(runCtx, cfg, base, tgt, rec)
+		}(cfg.Targets[req.target])
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	return rec.report(cfg, sessions, started, elapsed), nil
+}
+
+// buildPlan draws the full open-loop schedule on one seeded stream:
+// session starts from the diurnal NHPP, request offsets within each
+// session from the geometric/think-gap model, and a weighted target choice
+// per request.
+func buildPlan(cfg Config) (plan []request, sessions int64) {
+	stream := stats.NewStream(cfg.Seed, "loadgen")
+
+	// Normalize the shape to mean 1 and compress it onto the run: the
+	// whole profile spans Duration, cycling if dispatch outruns it.
+	mean := 0.0
+	for _, v := range cfg.Shape {
+		mean += v
+	}
+	mean /= float64(len(cfg.Shape))
+	rates := make([]float64, len(cfg.Shape))
+	for i, v := range cfg.Shape {
+		rates[i] = cfg.SessionRate * v / mean
+	}
+	binSec := cfg.Duration.Seconds() / float64(len(rates))
+	arrivals := workload.NewNHPP(rates, binSec, true)
+
+	totalWeight := 0
+	for _, t := range cfg.Targets {
+		totalWeight += t.Weight
+	}
+	pick := func() int {
+		w := stream.IntN(totalWeight)
+		for i, t := range cfg.Targets {
+			w -= t.Weight
+			if w < 0 {
+				return i
+			}
+		}
+		return len(cfg.Targets) - 1
+	}
+
+	horizon := cfg.Duration.Seconds()
+	cont := 1 - 1/cfg.MeanRequests
+	for t := arrivals.Next(stream); t < horizon; t += arrivals.Next(stream) {
+		sessions++
+		at := t
+		plan = append(plan, request{at: secs(at), target: pick()})
+		for stream.Bernoulli(cont) {
+			at += stream.ExpFloat64() * cfg.ThinkMean.Seconds()
+			if at >= horizon {
+				break
+			}
+			plan = append(plan, request{at: secs(at), target: pick()})
+		}
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].at < plan[j].at })
+	return plan, sessions
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// fire issues one request and records its outcome.
+func fire(ctx context.Context, cfg Config, base string, tgt Target, rec *recorder) {
+	reqCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	method, body := http.MethodGet, io.Reader(nil)
+	if tgt.Body != "" {
+		method, body = http.MethodPost, strings.NewReader(tgt.Body)
+	}
+	req, err := http.NewRequestWithContext(reqCtx, method, base+tgt.Path, body)
+	if err != nil {
+		rec.record(tgt.Path, 0, 0, errKindTransport)
+		return
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := cfg.Client.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		kind := errKindTransport
+		if reqCtx.Err() == context.DeadlineExceeded {
+			kind = errKindTimeout
+		}
+		rec.record(tgt.Path, lat, 0, kind)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rec.record(tgt.Path, lat, resp.StatusCode, errKindNone)
+}
+
+type errKind int
+
+const (
+	errKindNone errKind = iota
+	errKindTimeout
+	errKindTransport
+)
+
+// recorder accumulates outcomes under one lock; load-test rates are far
+// below contention territory.
+type recorder struct {
+	mu        sync.Mutex
+	lats      []float64 // milliseconds, successful requests
+	requests  int64
+	errors    int64
+	timeouts  int64
+	transport int64
+	statuses  map[string]int64
+	perTarget map[string]*TargetStats
+}
+
+func (r *recorder) record(path string, lat time.Duration, status int, kind errKind) {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	ms := float64(lat) / float64(time.Millisecond)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.requests++
+	ts := r.perTarget[path]
+	if ts == nil {
+		ts = &TargetStats{}
+		r.perTarget[path] = ts
+	}
+	ts.Requests++
+	switch kind {
+	case errKindNone:
+		r.statuses[fmt.Sprintf("%d", status)]++
+		if status >= 200 && status < 300 {
+			r.lats = append(r.lats, ms)
+			ts.lats = append(ts.lats, ms)
+		} else {
+			r.errors++
+			ts.Errors++
+		}
+	case errKindTimeout:
+		r.statuses["error"]++
+		r.errors++
+		r.timeouts++
+		ts.Errors++
+	case errKindTransport:
+		r.statuses["error"]++
+		r.errors++
+		r.transport++
+		ts.Errors++
+	}
+}
+
+func (r *recorder) report(cfg Config, sessions int64, started time.Time, elapsed time.Duration) *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		BaseURL:      cfg.BaseURL,
+		StartedAt:    started.UTC().Format(time.RFC3339),
+		DurationSec:  elapsed.Seconds(),
+		Seed:         cfg.Seed,
+		Sessions:     sessions,
+		Requests:     r.requests,
+		Errors:       r.errors,
+		Timeouts:     r.timeouts,
+		Transport:    r.transport,
+		StatusCounts: r.statuses,
+		PerTarget:    r.perTarget,
+		Latency:      percentiles(r.lats),
+	}
+	if r.requests > 0 {
+		rep.ErrorRate = float64(r.errors) / float64(r.requests)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(r.requests) / elapsed.Seconds()
+	}
+	for _, ts := range r.perTarget {
+		ts.P99Ms = percentiles(ts.lats).P99
+		ts.lats = nil
+	}
+	return rep
+}
+
+// percentiles summarizes one latency population (destructively sorts).
+func percentiles(lats []float64) Percentiles {
+	if len(lats) == 0 {
+		return Percentiles{}
+	}
+	sort.Float64s(lats)
+	sum := 0.0
+	for _, v := range lats {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	return Percentiles{
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+		Max:  lats[len(lats)-1],
+		Mean: sum / float64(len(lats)),
+	}
+}

@@ -1,0 +1,200 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// testConfig keeps runs short: ~1s, modest rate, tight timeout.
+func testConfig(url string) Config {
+	return Config{
+		BaseURL:     url,
+		Duration:    800 * time.Millisecond,
+		SessionRate: 40,
+		Workers:     16,
+		Timeout:     2 * time.Second,
+		Seed:        7,
+	}
+}
+
+func TestRunAgainstService(t *testing.T) {
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.Sessions == 0 {
+		t.Fatal("no sessions scheduled")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors against healthy in-process service: %d (statuses %v)", rep.Errors, rep.StatusCounts)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("error rate %v, want 0", rep.ErrorRate)
+	}
+	if rep.Latency.P99 <= 0 || rep.Latency.P50 > rep.Latency.P99 || rep.Latency.P99 > rep.Latency.Max {
+		t.Fatalf("implausible percentiles %+v", rep.Latency)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %v", rep.Throughput)
+	}
+	if rep.StatusCounts["200"] != rep.Requests {
+		t.Fatalf("status counts %v don't cover %d requests", rep.StatusCounts, rep.Requests)
+	}
+	for path, ts := range rep.PerTarget {
+		if ts.Requests > 0 && ts.Errors == 0 && ts.P99Ms <= 0 {
+			t.Fatalf("target %s: %d requests but p99 %v", path, ts.Requests, ts.P99Ms)
+		}
+	}
+	// The report must round-trip as JSON (it is the CI artifact).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != rep.Requests || back.Latency.P99 != rep.Latency.P99 {
+		t.Fatal("report does not round-trip through JSON")
+	}
+}
+
+// TestDeterministicSchedule: two plans with the same seed are identical,
+// a different seed diverges.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg, err := testConfig("http://unused").normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planA, sessA := buildPlan(cfg)
+	planB, sessB := buildPlan(cfg)
+	if sessA != sessB || len(planA) != len(planB) {
+		t.Fatalf("same seed, different plans: %d/%d sessions, %d/%d requests",
+			sessA, sessB, len(planA), len(planB))
+	}
+	for i := range planA {
+		if planA[i] != planB[i] {
+			t.Fatalf("plan diverges at request %d: %+v vs %+v", i, planA[i], planB[i])
+		}
+	}
+	cfg.Seed = 8
+	planC, _ := buildPlan(cfg)
+	if len(planC) == len(planA) {
+		same := true
+		for i := range planC {
+			if planC[i] != planA[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical plans")
+		}
+	}
+}
+
+// TestErrorsAreData: a server returning 500s yields a clean report with
+// the failures counted, not a Run error.
+func TestErrorsAreData(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.Duration = 400 * time.Millisecond
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("flaky server produced no recorded errors")
+	}
+	if rep.ErrorRate <= 0 || rep.ErrorRate >= 1 {
+		t.Fatalf("error rate %v, want strictly between 0 and 1", rep.ErrorRate)
+	}
+	if rep.StatusCounts["500"] != rep.Errors {
+		t.Fatalf("status counts %v vs errors %d", rep.StatusCounts, rep.Errors)
+	}
+}
+
+// TestCancelStopsDispatch: canceling the context ends the run early.
+func TestCancelStopsDispatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.Duration = 30 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run ignored cancellation, took %v", elapsed)
+	}
+	if rep.DurationSec >= 30 {
+		t.Fatalf("report claims full duration %v after cancel", rep.DurationSec)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no url", func(c *Config) { c.BaseURL = "" }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"negative rate", func(c *Config) { c.SessionRate = -1 }},
+		{"nan rate", func(c *Config) { c.SessionRate = nan() }},
+		{"negative workers", func(c *Config) { c.Workers = -1 }},
+		{"mean requests below 1", func(c *Config) { c.MeanRequests = 0.5 }},
+		{"weightless target", func(c *Config) { c.Targets = []Target{{Path: "/x"}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig("http://unused")
+			tc.mut(&cfg)
+			if _, err := Run(context.Background(), cfg); err == nil {
+				t.Fatal("expected config error")
+			}
+		})
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+func TestPercentiles(t *testing.T) {
+	p := percentiles([]float64{5, 1, 3, 2, 4})
+	if p.P50 != 3 || p.Max != 5 || p.Mean != 3 {
+		t.Fatalf("got %+v", p)
+	}
+	if p.P99 != 5 {
+		t.Fatalf("p99 of 5 samples should be the max, got %v", p.P99)
+	}
+	if z := percentiles(nil); z != (Percentiles{}) {
+		t.Fatalf("empty population: %+v", z)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyBounds are the histogram bucket bounds (seconds) used by
+// InstrumentHandler: 100µs to 10s, roughly ×3 per bucket — wide enough
+// for both the microsecond analytic endpoints and second-scale sweeps.
+var DefaultLatencyBounds = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10,
+}
+
+// httpMetrics is the per-route handle set, resolved once at wrap time so
+// the per-request path touches only atomic handles.
+type httpMetrics struct {
+	requests *Counter
+	errors   *Counter   // responses with status >= 500
+	clientEr *Counter   // responses with status 400..499
+	inflight *Gauge     // currently executing requests
+	latency  *Histogram // seconds
+}
+
+// statusWriter captures the response status without otherwise interfering.
+// Instances are pooled: the middleware is designed to add zero allocations
+// per request on top of the wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+var statusWriters = sync.Pool{New: func() any { return new(statusWriter) }}
+
+// InstrumentHandler wraps next with per-route HTTP metrics registered in
+// reg under http/<route>/: requests, errors_5xx, errors_4xx (counters),
+// inflight (gauge) and latency_seconds (histogram). All handles are
+// resolved at wrap time; the request path performs only atomic updates
+// and a pooled writer swap, allocating nothing itself.
+func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Handler {
+	m := &httpMetrics{
+		requests: reg.Counter("http/" + route + "/requests"),
+		errors:   reg.Counter("http/" + route + "/errors_5xx"),
+		clientEr: reg.Counter("http/" + route + "/errors_4xx"),
+		inflight: reg.Gauge("http/" + route + "/inflight"),
+		latency:  reg.Histogram("http/"+route+"/latency_seconds", DefaultLatencyBounds),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.requests.Inc()
+		m.inflight.Add(1)
+
+		sw := statusWriters.Get().(*statusWriter)
+		sw.ResponseWriter = w
+		sw.status = 0
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		sw.ResponseWriter = nil
+		statusWriters.Put(sw)
+
+		m.inflight.Add(-1)
+		m.latency.Observe(time.Since(start).Seconds())
+		switch {
+		case status >= 500:
+			m.errors.Inc()
+		case status >= 400:
+			m.clientEr.Inc()
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// nullWriter is a ResponseWriter with everything preallocated, so the
+// allocation test measures only the middleware.
+type nullWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) WriteHeader(code int)        { w.status = code }
+func (w *nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestInstrumentHandlerCounts(t *testing.T) {
+	reg := NewRegistry()
+	statuses := []int{200, 200, 404, 500, 204}
+	i := 0
+	h := InstrumentHandler(reg, "test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := statuses[i]
+		i++
+		if s == 200 {
+			// Implicit 200 via Write without WriteHeader.
+			if _, err := w.Write([]byte("ok")); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		w.WriteHeader(s)
+	}))
+	for range statuses {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["http/test/requests"]; got != uint64(len(statuses)) {
+		t.Errorf("requests = %d, want %d", got, len(statuses))
+	}
+	if got := snap.Counters["http/test/errors_5xx"]; got != 1 {
+		t.Errorf("errors_5xx = %d, want 1", got)
+	}
+	if got := snap.Counters["http/test/errors_4xx"]; got != 1 {
+		t.Errorf("errors_4xx = %d, want 1", got)
+	}
+	if got := snap.Gauges["http/test/inflight"]; got != 0 {
+		t.Errorf("inflight after completion = %g, want 0", got)
+	}
+	lat := snap.Histograms["http/test/latency_seconds"]
+	if lat.Count != uint64(len(statuses)) {
+		t.Errorf("latency count = %d, want %d", lat.Count, len(statuses))
+	}
+}
+
+func TestInstrumentHandlerInflightDuringRequest(t *testing.T) {
+	reg := NewRegistry()
+	gauge := reg.Gauge("http/g/inflight")
+	var seen float64
+	h := InstrumentHandler(reg, "g", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = gauge.Load()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if seen != 1 {
+		t.Errorf("inflight during request = %g, want 1", seen)
+	}
+	if got := gauge.Load(); got != 0 {
+		t.Errorf("inflight after request = %g, want 0", got)
+	}
+}
+
+// TestInstrumentHandlerAllocations pins the middleware's own request-path
+// cost at zero allocations.
+func TestInstrumentHandlerAllocations(t *testing.T) {
+	reg := NewRegistry()
+	body := []byte("ok")
+	h := InstrumentHandler(reg, "hot", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write(body); err != nil {
+			t.Fatal(err)
+		}
+	}))
+	req := &http.Request{Method: "GET", URL: &url.URL{Path: "/x"}}
+	w := &nullWriter{h: http.Header{}}
+	h.ServeHTTP(w, req) // warm the pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Errorf("middleware allocates %v allocs/op, want 0", allocs)
+	}
+}

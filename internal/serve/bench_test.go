@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// BenchmarkServeQuery measures the full single-query serve path — route
+// lookup, metrics middleware, raw-query parse, memoized Erlang lookup and
+// append-style JSON encoding — against a warm memo. The simbench/benchdiff
+// gate holds this at 0 allocs/op: any allocation on this path is a
+// regression, not noise.
+func BenchmarkServeQuery(b *testing.B) {
+	s, err := New(Config{PreheatRhos: []float64{120}, PreheatServers: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &http.Request{Method: "GET", URL: &url.URL{Path: "/v1/servers", RawQuery: "rho=120&target=0.001"}}
+	w := &nullResponseWriter{h: http.Header{}}
+	s.ServeHTTP(w, req) // warm pools and the header map
+	if w.status != 200 {
+		b.Fatalf("warmup status %d", w.status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServeLoss covers the fixed-pool companion endpoint.
+func BenchmarkServeLoss(b *testing.B) {
+	s, err := New(Config{PreheatRhos: []float64{120}, PreheatServers: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &http.Request{Method: "GET", URL: &url.URL{Path: "/v1/loss", RawQuery: "n=140&rho=120"}}
+	w := &nullResponseWriter{h: http.Header{}}
+	s.ServeHTTP(w, req)
+	if w.status != 200 {
+		b.Fatalf("warmup status %d", w.status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ServeHTTP(w, req)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it (the race runtime
+// allocates on instrumented paths).
+const raceEnabled = false

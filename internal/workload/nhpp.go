@@ -62,6 +62,14 @@ func (p *NHPP) CloneProcess() ArrivalProcess {
 // rateAt reports the rate in force at process time t.
 func (p *NHPP) rateAt(t float64) (rate float64, windowEnd float64) {
 	bin := int(t / p.BinSec)
+	// Guard the bin boundary against float truncation: when t sits exactly
+	// on a window edge but t/BinSec rounds just below the integer (BinSec
+	// values like 1/80 are not exactly representable), the naive bin would
+	// report windowEnd == t and Next's overshoot step could stall forever.
+	// Always hand back a window that strictly contains t.
+	for float64(bin+1)*p.BinSec <= t {
+		bin++
+	}
 	n := len(p.Rates)
 	idx := bin
 	if idx >= n {

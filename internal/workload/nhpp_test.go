@@ -104,6 +104,58 @@ func TestNHPPTerminalZeroRate(t *testing.T) {
 	}
 }
 
+// TestNHPPBoundaryClockMakesProgress pins the float-truncation stall:
+// with a bin width that is not exactly representable (1/80 s here), a
+// clock sitting exactly on a window edge used to make rateAt report
+// windowEnd == clock, so Next's overshoot step never advanced — an
+// infinite loop. The loadgen harness hit this within milliseconds of
+// compressing a diurnal profile onto a sub-second run.
+func TestNHPPBoundaryClockMakesProgress(t *testing.T) {
+	const binSec = 0.0125
+	// Find a boundary where the quotient rounds down across the integer.
+	k := 0
+	for i := 1; i < 1_000_000; i++ {
+		edge := float64(i) * binSec
+		if int(edge/binSec) < i {
+			k = i
+			break
+		}
+	}
+	if k == 0 {
+		t.Skip("no truncating boundary below 1e6 for this bin width")
+	}
+	p := NewNHPP([]float64{1e-9, 1e-9}, binSec, true)
+	p.clock = float64(k) * binSec
+	s := stats.NewStream(41, "nhpp/boundary")
+	// The near-zero rate forces the overshoot path every window; without
+	// the rateAt guard this loops forever instead of sweeping forward.
+	if gap := p.Next(s); gap <= 0 {
+		t.Fatalf("gap %g from boundary clock", gap)
+	}
+}
+
+// TestNHPPCompressedBinsTerminate drives the loadgen configuration that
+// exposed the stall end to end: a 24-bin profile squeezed into 0.3 s.
+func TestNHPPCompressedBinsTerminate(t *testing.T) {
+	rates := make([]float64, 24)
+	for i := range rates {
+		rates[i] = 30 + float64(i)
+	}
+	p := NewNHPP(rates, 0.3/24, true)
+	s := stats.NewStream(43, "nhpp/compressed")
+	clock := 0.0
+	for i := 0; i < 50_000; i++ {
+		gap := p.Next(s)
+		if gap < 0 || math.IsNaN(gap) {
+			t.Fatalf("gap %g at arrival %d", gap, i)
+		}
+		clock += gap
+	}
+	if clock <= 0 {
+		t.Fatal("clock never advanced")
+	}
+}
+
 func TestNHPPPanics(t *testing.T) {
 	cases := []func(){
 		func() { NewNHPP(nil, 1, false) },
