@@ -4,11 +4,11 @@
 // count M, the consolidated server count N, and the utilization and power
 // comparisons (Section III).
 //
-// Input is either the built-in case study,
+// Input is the built-in case study,
 //
 //	consolidate -casestudy -web 4 -db 4
 //
-// or a JSON spec:
+// a JSON model spec,
 //
 //	consolidate -spec plan.json
 //
@@ -27,24 +27,47 @@
 //	    }
 //	  ]
 //	}
+//
+// or a declarative simulator scenario bridged through the shared
+// evaluation layer (internal/eval),
+//
+//	consolidate -scenario examples/scenarios/casestudy.json -target 0.05
+//
+// which accepts the same files cmd/simulate runs. With -plan the command
+// searches a placement instead of solving M/N: it prints the cheapest
+// fleet (min-servers or min-power) whose worst per-service loss meets
+// -target, as stable JSON suitable for byte-diffed goldens:
+//
+//	consolidate -scenario examples/scenarios/plan-hetero.json -plan -objective min-power
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/scenario"
 )
 
 func main() {
-	specPath := flag.String("spec", "", "JSON spec file ('-' for stdin)")
+	specPath := flag.String("spec", "", "JSON model spec file ('-' for stdin)")
+	scenarioPath := flag.String("scenario", "", "declarative scenario JSON ('-' for stdin), bridged to the analytic model")
 	caseStudy := flag.Bool("casestudy", false, "use the paper's Web+DB case study")
 	webServers := flag.Int("web", 4, "case study: dedicated Web pool size")
 	dbServers := flag.Int("db", 4, "case study: dedicated DB pool size")
+	target := flag.Float64("target", experiments.LossTarget, "loss-probability target B in (0,1) for -scenario and -plan")
+	doPlan := flag.Bool("plan", false, "search a placement meeting -target instead of solving M/N (requires -scenario)")
+	objective := flag.String("objective", plan.MinServers, `plan objective: "min-servers" or "min-power"`)
+	planSeed := flag.Int64("plan-seed", 0, "plan annealing seed (0 adopts the scenario's seed)")
+	evaluator := flag.String("evaluator", "analytic", `plan candidate scorer: "analytic" or "sim"`)
 	sensitivity := flag.Float64("sensitivity", 0, "also run a ±FRACTION input-sensitivity sweep (e.g. 0.1)")
 	writeSpec := flag.String("write", "", "write the resolved model spec as JSON to this file ('-' for stdout)")
 	asJSON := flag.Bool("json", false, "print the solve result as JSON instead of text")
@@ -55,6 +78,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := checkFlagConflicts(explicit, *scenarioPath, *specPath, *caseStudy, *doPlan); err != nil {
+		die("%v", err)
+	}
+
 	var model *core.Model
 	switch {
 	case *caseStudy:
@@ -63,6 +92,23 @@ func main() {
 			die("%v", err)
 		}
 		model = m
+	case *scenarioPath != "":
+		s, err := loadScenario(*scenarioPath)
+		if err != nil {
+			die("%v", err)
+		}
+		if *doPlan {
+			out, err := runPlan(s, *target, *objective, *planSeed, *evaluator)
+			if err != nil {
+				die("%v", err)
+			}
+			os.Stdout.Write(out)
+			return
+		}
+		model, err = eval.ModelFromScenario(s, *target)
+		if err != nil {
+			die("%v", err)
+		}
 	case *specPath != "":
 		var raw []byte
 		var err error
@@ -79,7 +125,7 @@ func main() {
 			die("%v", err)
 		}
 	default:
-		die("supply -spec FILE or -casestudy (see -h)")
+		die("supply -spec FILE, -scenario FILE or -casestudy (see -h)")
 	}
 
 	res, err := model.Solve()
@@ -130,6 +176,88 @@ func main() {
 			die("%v", err)
 		}
 	}
+}
+
+// checkFlagConflicts rejects contradictory combinations up front, before
+// any defaulting can paper over them (the cmd/simulate convention).
+func checkFlagConflicts(explicit map[string]bool, scenarioPath, specPath string, caseStudy, doPlan bool) error {
+	sources := 0
+	for _, set := range []bool{scenarioPath != "", specPath != "", caseStudy} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return errors.New("-scenario, -spec and -casestudy are mutually exclusive model sources")
+	}
+	if !caseStudy {
+		for _, name := range []string{"web", "db"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s shapes the built-in case study and needs -casestudy", name)
+			}
+		}
+	}
+	if explicit["target"] && scenarioPath == "" {
+		return errors.New("-target needs -scenario: a -spec model carries its own lossTarget and the case study pins 0.05")
+	}
+	if doPlan {
+		if scenarioPath == "" {
+			return errors.New("-plan needs -scenario: the planner searches placements of a declarative scenario")
+		}
+		for _, name := range []string{"sensitivity", "write", "json"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s is a solve-mode flag, conflicting with -plan (a plan is always JSON)", name)
+			}
+		}
+		return nil
+	}
+	for _, name := range []string{"objective", "plan-seed", "evaluator"} {
+		if explicit[name] {
+			return fmt.Errorf("-%s needs -plan", name)
+		}
+	}
+	return nil
+}
+
+// loadScenario reads and parses a declarative scenario ('-' for stdin);
+// validation and defaulting happen inside the evaluation layer.
+func loadScenario(path string) (scenario.Scenario, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return scenario.Parse(r)
+}
+
+// runPlan searches a placement for the scenario and renders it as the
+// stable JSON cmd output and CI goldens byte-diff.
+func runPlan(s scenario.Scenario, target float64, objective string, seed int64, evaluator string) ([]byte, error) {
+	var ev eval.Evaluator
+	switch evaluator {
+	case "analytic":
+		ev = eval.NewAnalytic(nil)
+	case "sim":
+		ev = eval.NewSim(nil)
+	default:
+		return nil, fmt.Errorf(`-evaluator must be "analytic" or "sim", got %q`, evaluator)
+	}
+	p, err := plan.Search(context.Background(), ev, nil, plan.Spec{
+		Scenario:  s,
+		Target:    target,
+		Objective: objective,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.EncodeJSON()
 }
 
 // parseSpec delegates to the library's JSON schema (core.ParseJSONBytes).

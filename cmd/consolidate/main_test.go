@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 )
+
+var update = flag.Bool("update", false, "rewrite the plan golden files")
 
 const validSpec = `{
   "lossTarget": 0.05,
@@ -64,6 +70,109 @@ func TestParseSpecDefaultsToRestrictedForm(t *testing.T) {
 	}
 	if m.Form != core.TrafficEq5Restricted {
 		t.Fatalf("default form = %v", m.Form)
+	}
+}
+
+// The rejection table refuses contradictory flag combinations instead of
+// silently preferring one source.
+func TestCheckFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name         string
+		explicit     []string
+		scenarioPath string
+		specPath     string
+		caseStudy    bool
+		doPlan       bool
+		wantErr      bool
+	}{
+		{name: "scenario alone", scenarioPath: "s.json"},
+		{name: "plan over scenario", scenarioPath: "s.json", doPlan: true},
+		{name: "scenario+spec", scenarioPath: "s.json", specPath: "m.json", wantErr: true},
+		{name: "scenario+casestudy", scenarioPath: "s.json", caseStudy: true, wantErr: true},
+		{name: "spec+casestudy", specPath: "m.json", caseStudy: true, wantErr: true},
+		{name: "web without casestudy", explicit: []string{"web"}, scenarioPath: "s.json", wantErr: true},
+		{name: "target without scenario", explicit: []string{"target"}, specPath: "m.json", wantErr: true},
+		{name: "plan without scenario", specPath: "m.json", doPlan: true, wantErr: true},
+		{name: "plan+json", explicit: []string{"json"}, scenarioPath: "s.json", doPlan: true, wantErr: true},
+		{name: "plan+sensitivity", explicit: []string{"sensitivity"}, scenarioPath: "s.json", doPlan: true, wantErr: true},
+		{name: "plan+write", explicit: []string{"write"}, scenarioPath: "s.json", doPlan: true, wantErr: true},
+		{name: "objective without plan", explicit: []string{"objective"}, scenarioPath: "s.json", wantErr: true},
+		{name: "plan-seed without plan", explicit: []string{"plan-seed"}, scenarioPath: "s.json", wantErr: true},
+		{name: "evaluator without plan", explicit: []string{"evaluator"}, scenarioPath: "s.json", wantErr: true},
+		{name: "target with scenario", explicit: []string{"target"}, scenarioPath: "s.json"},
+	}
+	for _, c := range cases {
+		explicit := map[string]bool{}
+		for _, name := range c.explicit {
+			explicit[name] = true
+		}
+		err := checkFlagConflicts(explicit, c.scenarioPath, c.specPath, c.caseStudy, c.doPlan)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// A scenario file loads through the shared evaluation layer and plans
+// deterministically.
+func TestRunPlanOnExampleScenario(t *testing.T) {
+	s, err := loadScenario("../../examples/scenarios/casestudy.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runPlan(s, 0.05, "min-servers", 0, "analytic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := runPlan(s, 0.05, "min-servers", 0, "analytic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(again) {
+		t.Fatal("plan output not byte-stable")
+	}
+	if out[len(out)-1] != '\n' {
+		t.Fatal("plan output must be newline-terminated for byte-diffed goldens")
+	}
+	if _, err := runPlan(s, 0.05, "min-servers", 0, "quantum"); err == nil {
+		t.Fatal("unknown evaluator accepted")
+	}
+}
+
+// The committed plan goldens are the same files CI's planner-smoke job
+// byte-diffs against the real binary's stdout; regenerate with
+// `go test ./cmd/consolidate -run TestPlanGoldens -update`.
+func TestPlanGoldens(t *testing.T) {
+	cases := []struct {
+		golden    string
+		scenario  string
+		objective string
+	}{
+		{"plan-sharded-fleet.json", "../../examples/scenarios/sharded-fleet.json", "min-servers"},
+		{"plan-hetero.json", "../../examples/scenarios/plan-hetero.json", "min-power"},
+	}
+	for _, c := range cases {
+		s, err := loadScenario(c.scenario)
+		if err != nil {
+			t.Fatalf("%s: %v", c.scenario, err)
+		}
+		out, err := runPlan(s, 0.05, c.objective, 0, "analytic")
+		if err != nil {
+			t.Fatalf("%s: %v", c.golden, err)
+		}
+		path := filepath.Join("testdata", "golden", c.golden)
+		if *update {
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create)", err)
+		}
+		if !bytes.Equal(out, want) {
+			t.Errorf("%s drifted from its golden; got:\n%s", c.golden, out)
+		}
 	}
 }
 

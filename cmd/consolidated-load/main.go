@@ -59,6 +59,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "consolidated-load: -url is required")
 		return 2
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	// A negative threshold would silently disable its gate — in CI that
+	// reads as "passing". Reject it as the usage error it is.
+	if *maxP99 < 0 {
+		fmt.Fprintf(stderr, "consolidated-load: -max-p99 %g is negative (use 0 to disable the latency gate)\n", *maxP99)
+		return 2
+	}
+	if explicit["max-error-rate"] && *maxErrRate < 0 {
+		fmt.Fprintf(stderr, "consolidated-load: -max-error-rate %g is negative (omit the flag to disable the error-rate gate)\n", *maxErrRate)
+		return 2
+	}
 
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:      *url,

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/serve"
@@ -116,5 +117,34 @@ func TestUsage(t *testing.T) {
 		if code := run(context.Background(), args, &stdout, &stderr); code != 2 {
 			t.Fatalf("run(%v) = %d, want 2 (stderr %s)", args, code, stderr.String())
 		}
+	}
+}
+
+// A negative gate threshold is a usage error (exit 2) with a message
+// naming the flag — never a silently disabled gate.
+func TestNegativeGateThresholdsRejected(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-url", "http://e", "-max-p99", "-1"}, "-max-p99"},
+		{[]string{"-url", "http://e", "-max-error-rate", "-0.5"}, "-max-error-rate"},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), c.args, &stdout, &stderr); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr %s)", c.args, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), c.want) {
+			t.Fatalf("run(%v) stderr %q does not name %s", c.args, stderr.String(), c.want)
+		}
+	}
+	// The default -max-error-rate (-1, never set) still just disables the
+	// gate; only an explicit negative is rejected. Missing -url keeps this
+	// from starting a run.
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{}, &stdout, &stderr); code != 2 ||
+		strings.Contains(stderr.String(), "max-error-rate") {
+		t.Fatalf("default thresholds tripped the negative-gate check: %s", stderr.String())
 	}
 }

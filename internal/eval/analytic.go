@@ -1,0 +1,321 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/erlang"
+	"repro/internal/power"
+	"repro/internal/scenario"
+	"repro/internal/virt"
+	"repro/internal/workload"
+)
+
+// Analytic scores candidates with the paper's utility analytic model: the
+// scenario is bridged to a core.Model (ModelFromScenario), the fleet's
+// capability units size an Erlang B loss per resource, and utilization and
+// watts follow Eq. (9)–(14) with the platform factors of internal/power.
+//
+// Integer-unit fleets are answered from the shared copy-on-write
+// erlang.Memo tables (lock-free reads, so concurrent candidate batches
+// share one growing table set); fractional capability units fall back to
+// the continuous Erlang B extension.
+type Analytic struct {
+	memo *erlang.Memo
+}
+
+// NewAnalytic builds an analytic evaluator over the given memo; nil
+// builds a private unbounded memo.
+func NewAnalytic(memo *erlang.Memo) *Analytic {
+	if memo == nil {
+		memo = erlang.NewMemo(0, 0)
+	}
+	return &Analytic{memo: memo}
+}
+
+// Memo exposes the evaluator's Erlang tables, so a host process (the HTTP
+// service) can share one memo between its hot single-query path and the
+// planner.
+func (a *Analytic) Memo() *erlang.Memo { return a.memo }
+
+// evalLossTarget is the placeholder sizing target used when bridging a
+// scenario for fixed-fleet evaluation: Evaluate never sizes, it only reads
+// traffic, so any value in (0, 1) works.
+const evalLossTarget = 0.5
+
+// Evaluate scores the candidate analytically. It accepts raw or resolved
+// scenarios (defaults are applied to a private clone) and returns
+// ErrUnsupported for scenarios outside the analytic model's domain —
+// closed-loop services, failure injection, or non-flowing allocators.
+func (a *Analytic) Evaluate(ctx context.Context, s scenario.Scenario) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	resolved := s.Clone()
+	resolved.ApplyDefaults()
+	if err := resolved.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := ModelFromScenario(resolved, evalLossTarget)
+	if err != nil {
+		return Result{}, err
+	}
+	resources, err := ScenarioResources(resolved)
+	if err != nil {
+		return Result{}, err
+	}
+	serverModel, platform := scenarioPower(resolved)
+
+	res := Result{Source: "analytic", Mode: resolved.Mode}
+	if resolved.Mode == "dedicated" {
+		return a.evaluateDedicated(res, resolved, m, resources, serverModel, platform)
+	}
+	return a.evaluateConsolidated(res, resolved, m, resources, serverModel, platform)
+}
+
+// evaluateConsolidated scores a consolidated fleet: loss per resource is
+// Erlang B of the merged traffic ρ'ⱼ (Eq. 5) over the fleet's capability
+// units, a service's loss is the worst over the resources it demands, and
+// watts sum per-class draws at the Eq. (10) utilization.
+func (a *Analytic) evaluateConsolidated(res Result, s scenario.Scenario, m *core.Model, resources []string, serverModel power.ServerModel, platform power.Platform) (Result, error) {
+	hosts, units := FleetUnits(s, resources)
+	res.Hosts = hosts
+	res.CapabilityUnits = units
+
+	lossByResource := make(map[string]float64, len(resources))
+	demand := 0.0
+	for _, r := range resources {
+		rho := m.ConsolidatedTraffic(core.Resource(r), m.Form)
+		demand += rho
+		b, err := a.loss(units, rho)
+		if err != nil {
+			return Result{}, err
+		}
+		lossByResource[r] = b
+		if b > res.Loss {
+			res.Loss = b
+		}
+	}
+	res.Services = make([]ServiceLoss, len(m.Services))
+	for i, svc := range m.Services {
+		worst := 0.0
+		for r, mu := range svc.ServingRates {
+			if math.IsInf(mu, 1) {
+				continue
+			}
+			if b := lossByResource[string(r)]; b > worst {
+				worst = b
+			}
+		}
+		res.Services[i] = ServiceLoss{Name: svc.Name, Loss: worst}
+	}
+	if units > 0 {
+		res.Utilization = demand / units
+	}
+	res.Watts = fleetWatts(s, res.Utilization, serverModel, platform)
+	return res, nil
+}
+
+// evaluateDedicated scores per-service dedicated pools: each service's
+// pool of DedicatedServers reference servers sees its own offered traffic
+// ρᵢⱼ = λᵢ/μᵢⱼ (Eq. 3), and watts sum per-pool draws at each pool's
+// Eq. (9) utilization.
+func (a *Analytic) evaluateDedicated(res Result, s scenario.Scenario, m *core.Model, resources []string, serverModel power.ServerModel, platform power.Platform) (Result, error) {
+	res.Services = make([]ServiceLoss, len(m.Services))
+	totalDemand := 0.0
+	for i, svc := range m.Services {
+		n := s.Services[i].DedicatedServers
+		res.Hosts += n
+		worst := 0.0
+		demand := 0.0
+		for _, mu := range svc.ServingRates {
+			if math.IsInf(mu, 1) {
+				continue
+			}
+			rho := svc.ArrivalRate / mu
+			demand += rho
+			b, err := a.loss(float64(n), rho)
+			if err != nil {
+				return Result{}, err
+			}
+			if b > worst {
+				worst = b
+			}
+		}
+		res.Services[i] = ServiceLoss{Name: svc.Name, Loss: worst}
+		if worst > res.Loss {
+			res.Loss = worst
+		}
+		totalDemand += demand
+		if n > 0 {
+			res.Watts += power.SteadyStateDraw(serverModel, n, demand/float64(n), platform)
+		}
+	}
+	res.CapabilityUnits = float64(res.Hosts)
+	if res.Hosts > 0 {
+		res.Utilization = totalDemand / float64(res.Hosts)
+	}
+	return res, nil
+}
+
+// loss evaluates Erlang B over a possibly fractional server count: the
+// memoized integer tables when units is whole, the continuous extension
+// otherwise.
+func (a *Analytic) loss(units, rho float64) (float64, error) {
+	if rho == 0 {
+		if units == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if n := math.Round(units); math.Abs(units-n) < 1e-9 && n >= 0 {
+		return a.memo.B(int(n), rho)
+	}
+	return erlang.BContinuous(units, rho)
+}
+
+// fleetWatts sums the steady-state draw of a consolidated fleet at uniform
+// utilization u, honoring per-class power overrides.
+func fleetWatts(s scenario.Scenario, u float64, fleetModel power.ServerModel, platform power.Platform) float64 {
+	if len(s.Fleet.Classes) == 0 {
+		return power.SteadyStateDraw(fleetModel, s.Fleet.Hosts, u, platform)
+	}
+	watts := 0.0
+	for _, hc := range s.Fleet.Classes {
+		model := fleetModel
+		if hc.Power != nil {
+			model = power.ServerModel{Base: hc.Power.BaseW, Max: hc.Power.MaxW}
+		}
+		watts += power.SteadyStateDraw(model, hc.Count, u, platform)
+	}
+	return watts
+}
+
+// scenarioPower reads the resolved scenario's power model and platform.
+func scenarioPower(s scenario.Scenario) (power.ServerModel, power.Platform) {
+	model := power.DefaultServer
+	platform := power.XenRainbow
+	if s.Power != nil {
+		if s.Power.BaseW != 0 || s.Power.MaxW != 0 {
+			model = power.ServerModel{Base: s.Power.BaseW, Max: s.Power.MaxW}
+		}
+		if s.Power.Platform == "linux" {
+			platform = power.NativeLinux
+		}
+	} else if s.Mode == "dedicated" {
+		platform = power.NativeLinux
+	}
+	return model, platform
+}
+
+// ModelFromScenario bridges a declarative scenario to the paper's analytic
+// model: per-service arrival rates come from the built arrival process's
+// mean rate, serving rates from the compiled demand profile (μ = 1/mean
+// demand, Eq. 3), and impact factors from the overhead curves evaluated at
+// the number of co-located VMs actively demanding each resource — exactly
+// the case-study convention (disk at v = 1, CPU at v = 2 for the Web+DB
+// pair).
+//
+// The scenario must be analytic-model shaped: every service open-loop, no
+// failure injection, and no explicit allocator (the model assumes ideal
+// on-demand resource flowing). Anything else returns ErrUnsupported; the
+// sim evaluator handles those scenarios.
+func ModelFromScenario(s scenario.Scenario, lossTarget float64) (*core.Model, error) {
+	resolved := s.Clone()
+	resolved.ApplyDefaults()
+	if err := resolved.Validate(); err != nil {
+		return nil, err
+	}
+	if resolved.Failures != nil {
+		return nil, fmt.Errorf("%w: failure injection has no analytic form", ErrUnsupported)
+	}
+	if resolved.Alloc != nil {
+		return nil, fmt.Errorf("%w: explicit allocator policies have no analytic form (the model assumes ideal flowing)", ErrUnsupported)
+	}
+
+	resources, err := ScenarioResources(resolved)
+	if err != nil {
+		return nil, err
+	}
+	// vms[r] counts the services demanding resource r: the number of
+	// co-located VMs actively using r on a consolidated host, which is the
+	// v the impact curves a(v) are evaluated at.
+	vms := make(map[string]int, len(resources))
+	profiles := make([]profileInfo, len(resolved.Services))
+	for i := range resolved.Services {
+		svc := resolved.Services[i]
+		profile, err := svc.CompileProfile()
+		if err != nil {
+			return nil, fmt.Errorf("eval: service %d: %w", i, err)
+		}
+		overhead, err := svc.CompileOverhead()
+		if err != nil {
+			return nil, fmt.Errorf("eval: service %d: %w", i, err)
+		}
+		profiles[i] = profileInfo{name: profile.Name, profile: profile, overhead: overhead}
+		for r := range profile.Demands {
+			vms[r]++
+		}
+	}
+
+	m := &core.Model{LossTarget: lossTarget}
+	for _, r := range resources {
+		m.Resources = append(m.Resources, core.Resource(r))
+	}
+	seen := map[string]int{}
+	for i := range resolved.Services {
+		svc := resolved.Services[i]
+		if svc.Clients > 0 || svc.Arrivals == nil {
+			return nil, fmt.Errorf("%w: service %q is closed-loop (no open-loop arrival rate; use the sim evaluator)", ErrUnsupported, profiles[i].name)
+		}
+		proc, err := svc.Arrivals.Build()
+		if err != nil {
+			return nil, fmt.Errorf("eval: service %d arrivals: %w", i, err)
+		}
+		name := profiles[i].name
+		// The analytic model requires unique service names; disambiguate
+		// duplicates positionally like reports do.
+		if n := seen[name]; n > 0 {
+			name = fmt.Sprintf("%s#%d", name, n+1)
+		}
+		seen[profiles[i].name]++
+
+		cs := core.Service{
+			Name:          name,
+			ArrivalRate:   proc.Rate(),
+			ServingRates:  map[core.Resource]float64{},
+			ImpactFactors: map[core.Resource]float64{},
+		}
+		for r := range profiles[i].profile.Demands {
+			mu := profiles[i].profile.ServingRate(r)
+			// The OS software ceiling caps a single OS image's completion
+			// rate regardless of spare hardware (Fig. 8): the paper's
+			// Table I uses the capped rate as the DB service's μ.
+			if ceil := profiles[i].profile.OSCeiling; ceil > 0 && mu > ceil {
+				mu = ceil
+			}
+			cs.ServingRates[core.Resource(r)] = mu
+			a, err := profiles[i].overhead.Factor(r, vms[r])
+			if err != nil {
+				return nil, fmt.Errorf("eval: service %d overhead on %q: %w", i, r, err)
+			}
+			cs.ImpactFactors[core.Resource(r)] = a
+		}
+		m.Services = append(m.Services, cs)
+	}
+	if resolved.Power != nil {
+		m.Power = core.PowerParams{Base: resolved.Power.BaseW, Max: resolved.Power.MaxW}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type profileInfo struct {
+	name     string
+	profile  workload.ServiceProfile
+	overhead virt.HostOverhead
+}

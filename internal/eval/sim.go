@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/pool"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// Sim scores candidates by discrete-event simulation, lowered onto the
+// existing sweep engine: every evaluation is one sweep point, so it draws
+// workers from the shared pool budget and — when the engine has a cache —
+// is memoized content-addressed. A placement search that revisits a
+// candidate pays a file read, not a simulation.
+type Sim struct {
+	engine *sweep.Engine
+}
+
+// NewSim builds a sim evaluator over the given engine; nil builds a
+// private cacheless engine on a GOMAXPROCS pool.
+func NewSim(engine *sweep.Engine) *Sim {
+	if engine == nil {
+		p, err := pool.New(0)
+		if err != nil {
+			panic(err) // pool.New(0) cannot fail
+		}
+		engine = sweep.NewEngine(p, nil, nil)
+	}
+	return &Sim{engine: engine}
+}
+
+// SelfBudgeted reports that the sweep engine already draws simulation
+// workers from the shared pool: callers must not wrap Evaluate in slots of
+// the same pool.
+func (e *Sim) SelfBudgeted() bool { return true }
+
+// Evaluate runs the candidate through the sweep engine and folds the
+// point summary into the shared Result shape. Loss is the worst
+// per-service simulated loss; a service whose window saw no arrivals
+// reports the overall loss instead of NaN.
+func (e *Sim) Evaluate(ctx context.Context, s scenario.Scenario) (Result, error) {
+	resolved := s.Clone()
+	resolved.ApplyDefaults()
+	if err := resolved.Validate(); err != nil {
+		return Result{}, err
+	}
+	label := resolved.Name
+	if label == "" {
+		label = "candidate"
+	}
+	results, err := e.engine.RunPoints(ctx, []sweep.Point{{Index: 0, Label: label, Scenario: resolved}})
+	if err != nil {
+		return Result{}, err
+	}
+	if len(results) != 1 {
+		return Result{}, fmt.Errorf("eval: sim returned %d points for one candidate", len(results))
+	}
+	pr := results[0]
+
+	resources, err := ScenarioResources(resolved)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Source:   "sim",
+		Mode:     resolved.Mode,
+		Hosts:    pr.Hosts,
+		CacheHit: pr.CacheHit,
+	}
+	if resolved.Mode == "dedicated" {
+		res.CapabilityUnits = float64(pr.Hosts)
+	} else {
+		_, res.CapabilityUnits = FleetUnits(resolved, resources)
+	}
+	overall := float64(pr.OverallLoss.Point)
+	res.Services = make([]ServiceLoss, len(pr.Services))
+	for i, sp := range pr.Services {
+		loss := float64(sp.Loss.Point)
+		if math.IsNaN(loss) {
+			loss = overall
+		}
+		res.Services[i] = ServiceLoss{Name: sp.Name, Loss: loss}
+		if loss > res.Loss {
+			res.Loss = loss
+		}
+	}
+	res.Utilization = float64(pr.BottleneckUtil.Point)
+	if pr.Window > 0 {
+		res.Watts = (float64(pr.EnergyBusyJ) + float64(pr.EnergyIdleJ)) / pr.Window
+	}
+	return res, nil
+}

@@ -175,6 +175,7 @@ func All() []Experiment {
 		{"ablation-burst", "Ablation: Poisson-assumption sensitivity", runBurstAblation},
 		{"ablation-alloc", "Ablation: resource-flowing granularity", runAllocAblation},
 		{"ablation-diurnal", "Ablation: nonstationary diurnal traffic", runDiurnal},
+		{"ablation-plan", "Ablation: placement planner vs analytic sizing", runPlanAblation},
 	}
 }
 

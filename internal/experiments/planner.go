@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/erlang"
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/scenario"
+)
+
+// PlanAblationRow is one planned fleet in the planner-vs-analytic
+// ablation: the placement the search chose, its analytic score, and the
+// simulated loss of the same placement as validation.
+type PlanAblationRow struct {
+	Fleet     string
+	Objective string
+	Hosts     int
+	Units     float64
+	ModelLoss float64
+	Watts     float64
+	SimLoss   float64
+	Evals     int
+}
+
+// PlanAblationResult couples the rows with the homogeneous analytic
+// reference N the planner must reproduce.
+type PlanAblationResult struct {
+	AnalyticN int
+	Rows      []PlanAblationRow
+}
+
+// PlanAblation exercises the placement planner (internal/plan) against
+// the paper's own sizing: on the homogeneous group-2 case study the
+// planner must land exactly on the analytic N of Eq. (5); on a
+// heterogeneous supply (reference AMD servers, slower but
+// cheaper-to-power Intel machines, disk-rich nodes) it reports how many
+// hosts and watts the min-servers and min-power objectives need for the
+// same loss target. Every chosen placement is then re-scored by the
+// cluster simulator through the shared engine.
+func PlanAblation(cfg Config) (*PlanAblationResult, error) {
+	base := scenario.CaseStudy(4, 4, "consolidated", 4)
+	base.Seed = cfg.Seed
+
+	m, err := eval.ModelFromScenario(base, LossTarget)
+	if err != nil {
+		return nil, err
+	}
+	analyticN := 0
+	for _, j := range m.Resources {
+		n, err := erlang.Servers(m.ConsolidatedTraffic(j, m.Form), LossTarget, 0)
+		if err != nil {
+			return nil, err
+		}
+		if n > analyticN {
+			analyticN = n
+		}
+	}
+
+	hetero := base.Clone()
+	hetero.Fleet = scenario.Fleet{Classes: []scenario.HostClass{
+		{Preset: "amd", Count: 6},
+		{Preset: "intel", Count: 6, Power: &scenario.Power{BaseW: 230, MaxW: 310}},
+		{Name: "fast-disk", Count: 2, Capability: map[string]float64{"diskio": 1.5}},
+	}}
+
+	ev := eval.NewAnalytic(nil)
+	sim := eval.NewSim(cfg.engine().Scoped("ablation-plan"))
+	ctx := context.Background()
+
+	cases := []struct {
+		fleet     string
+		s         scenario.Scenario
+		objective string
+	}{
+		{"homogeneous", base, plan.MinServers},
+		{"hetero", hetero, plan.MinServers},
+		{"hetero", hetero, plan.MinPower},
+	}
+	res := &PlanAblationResult{AnalyticN: analyticN}
+	for _, c := range cases {
+		p, err := plan.Search(ctx, ev, nil, plan.Spec{Scenario: c.s, Target: LossTarget, Objective: c.objective})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-plan: %s/%s: %w", c.fleet, c.objective, err)
+		}
+		placed := placedScenario(c.s, p)
+		placed.Horizon = cfg.scale(120)
+		simRes, err := sim.Evaluate(ctx, placed)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-plan: simulating %s/%s placement: %w", c.fleet, c.objective, err)
+		}
+		res.Rows = append(res.Rows, PlanAblationRow{
+			Fleet:     c.fleet,
+			Objective: c.objective,
+			Hosts:     p.Hosts,
+			Units:     p.Result.CapabilityUnits,
+			ModelLoss: p.Result.Loss,
+			Watts:     p.Result.Watts,
+			SimLoss:   simRes.Loss,
+			Evals:     p.Evaluations,
+		})
+	}
+	return res, nil
+}
+
+// placedScenario reconstructs the concrete scenario a plan describes, so
+// the chosen placement can be re-scored by a different evaluator.
+func placedScenario(s scenario.Scenario, p plan.Plan) scenario.Scenario {
+	c := s.Clone()
+	if len(p.Classes) == 0 {
+		c.Fleet = scenario.Fleet{Hosts: p.Hosts}
+		return c
+	}
+	supply := c.Fleet.Classes
+	c.Fleet = scenario.Fleet{}
+	for i, cc := range p.Classes {
+		if cc.Count == 0 {
+			continue
+		}
+		hc := supply[i]
+		hc.Count = cc.Count
+		c.Fleet.Classes = append(c.Fleet.Classes, hc)
+	}
+	return c
+}
+
+// Tables renders the ablation.
+func (r *PlanAblationResult) Tables() []*Table {
+	t := &Table{
+		ID:    "ablation-plan",
+		Title: "placement planner vs the analytic sizing (DESIGN.md §12)",
+		Columns: []string{"fleet", "objective", "hosts", "capability units",
+			"model B", "watts", "sim B", "evals"},
+	}
+	minPowerWatts, homWatts := math.NaN(), math.NaN()
+	for _, row := range r.Rows {
+		t.AddRow(row.Fleet, row.Objective, row.Hosts, row.Units,
+			row.ModelLoss, row.Watts, row.SimLoss, row.Evals)
+		if row.Fleet == "homogeneous" {
+			homWatts = row.Watts
+		}
+		if row.Fleet == "hetero" && row.Objective == plan.MinPower {
+			minPowerWatts = row.Watts
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("homogeneous planner count must equal the analytic N = %d (tested)", r.AnalyticN))
+	if !math.IsNaN(minPowerWatts) && !math.IsNaN(homWatts) {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("min-power hetero fleet draws %.0f W vs %.0f W for the homogeneous analytic bound", minPowerWatts, homWatts))
+	}
+	return []*Table{t}
+}
+
+func runPlanAblation(cfg Config) ([]*Table, error) {
+	r, err := PlanAblation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Tables(), nil
+}

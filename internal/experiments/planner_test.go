@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// The ablation's acceptance criteria: on the homogeneous case study the
+// planner reproduces the analytic N exactly, every placement meets the
+// loss target, and the min-power heterogeneous fleet (with its
+// cheaper-to-power Intel class) draws no more watts than the homogeneous
+// analytic bound.
+func TestPlanAblation(t *testing.T) {
+	r, err := PlanAblation(Config{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	var homWatts, minPowerWatts float64
+	for _, row := range r.Rows {
+		if row.ModelLoss > LossTarget {
+			t.Errorf("%s/%s: model loss %g above target", row.Fleet, row.Objective, row.ModelLoss)
+		}
+		if row.Hosts <= 0 || row.Evals <= 0 {
+			t.Errorf("%s/%s: degenerate row %+v", row.Fleet, row.Objective, row)
+		}
+		switch {
+		case row.Fleet == "homogeneous":
+			homWatts = row.Watts
+			if row.Hosts != r.AnalyticN {
+				t.Errorf("homogeneous planner chose %d hosts, analytic N = %d", row.Hosts, r.AnalyticN)
+			}
+		case row.Objective == plan.MinPower:
+			minPowerWatts = row.Watts
+		}
+	}
+	if minPowerWatts > homWatts+1e-9 {
+		t.Errorf("min-power hetero watts %g exceed homogeneous bound %g", minPowerWatts, homWatts)
+	}
+
+	tables := r.Tables()
+	if len(tables) != 1 || tables[0].ID != "ablation-plan" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if !strings.Contains(tables[0].String(), "analytic N") {
+		t.Fatal("table misses the analytic-N note")
+	}
+}
+
+// The registry exposes the ablation under its ID.
+func TestPlanAblationRegistered(t *testing.T) {
+	e, ok := Lookup("ablation-plan")
+	if !ok {
+		t.Fatal("ablation-plan not registered")
+	}
+	if e.Run == nil || e.Title == "" {
+		t.Fatalf("incomplete registration: %+v", e)
+	}
+}

@@ -1,0 +1,33 @@
+package plan_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/scenario"
+)
+
+// BenchmarkPlan times a full heterogeneous analytic placement search —
+// FFD seed, local-search descent and final evaluation — sharing one memo
+// across iterations the way a long-lived planner process would.
+func BenchmarkPlan(b *testing.B) {
+	s := scenario.CaseStudy(4, 4, "consolidated", 0)
+	s.Fleet = scenario.Fleet{Classes: []scenario.HostClass{
+		{Preset: "amd", Count: 4},
+		{Preset: "intel", Count: 4},
+		{Preset: "blade", Count: 4},
+	}}
+	ev := eval.NewAnalytic(nil)
+	spec := plan.Spec{Scenario: s, Target: 0.05, Objective: plan.MinPower, Seed: 7}
+	// No ReportAllocs: the pool-parallel candidate batches make the count
+	// jitter by a few allocs run to run, and the benchdiff gate treats any
+	// allocs/op increase as a regression (same policy as BenchmarkShardedRun).
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Search(context.Background(), ev, nil, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -64,7 +64,8 @@ var ErrInvalidModel = errors.New("power: invalid model")
 
 // Validate checks the server model.
 func (m ServerModel) Validate() error {
-	if m.Base < 0 || m.Max < m.Base || math.IsNaN(m.Base) || math.IsNaN(m.Max) {
+	if m.Base < 0 || m.Max < m.Base || math.IsNaN(m.Base) || math.IsNaN(m.Max) ||
+		math.IsInf(m.Base, 0) || math.IsInf(m.Max, 0) {
 		return fmt.Errorf("%w: base=%g max=%g", ErrInvalidModel, m.Base, m.Max)
 	}
 	return nil

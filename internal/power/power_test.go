@@ -1,6 +1,7 @@
 package power
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -67,6 +68,80 @@ func TestValidate(t *testing.T) {
 	}
 	if err := DefaultServer.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Golden values of the paper's linear form P = S_base + (S_max − S_base)·u
+// for the default 250/340 W server, on both platforms. Pinned exactly so
+// a factor or formula regression cannot hide behind tolerances.
+func TestDrawGoldenValues(t *testing.T) {
+	m := DefaultServer
+	cases := []struct {
+		u        float64
+		platform Platform
+		want     float64
+	}{
+		{0, NativeLinux, 250},
+		{0.25, NativeLinux, 272.5},
+		{0.5, NativeLinux, 295},
+		{1, NativeLinux, 340},
+		// Xen: 250·0.91 + 90·0.70·u = 227.5 + 63u.
+		{0, XenRainbow, 227.5},
+		{0.25, XenRainbow, 243.25},
+		{0.5, XenRainbow, 259},
+		{1, XenRainbow, 290.5},
+	}
+	for _, c := range cases {
+		if got := m.Draw(c.u, c.platform); got != c.want {
+			t.Errorf("Draw(%g, %s) = %g, want %g", c.u, c.platform, got, c.want)
+		}
+	}
+}
+
+// Zero utilization is exactly the idle draw — no active term leaks in —
+// and a fleet at zero utilization draws servers × idle.
+func TestZeroUtilization(t *testing.T) {
+	m := ServerModel{Base: 120, Max: 180}
+	if got := m.Draw(0, NativeLinux); got != 120 {
+		t.Fatalf("zero-utilization draw %g, want the bare base 120", got)
+	}
+	if got := SteadyStateDraw(m, 7, 0, NativeLinux); got != 7*120 {
+		t.Fatalf("fleet zero-utilization draw %g, want %g", got, 7.0*120)
+	}
+	if got := SteadyStateDraw(m, 0, 0.5, NativeLinux); got != 0 {
+		t.Fatalf("empty fleet draws %g, want 0", got)
+	}
+	if got := SteadyStateDraw(m, -3, 0.5, NativeLinux); got != 0 {
+		t.Fatalf("negative fleet draws %g, want 0", got)
+	}
+}
+
+// Validate rejects every non-physical model shape with the sentinel.
+func TestValidateEdgeCases(t *testing.T) {
+	bad := []ServerModel{
+		{Base: 340, Max: 250}, // S_max < S_base
+		{Base: -1, Max: 10},
+		{Base: math.NaN(), Max: 340},
+		{Base: 250, Max: math.NaN()},
+		{Base: math.Inf(1), Max: math.Inf(1)},
+		{Base: 250, Max: math.Inf(1)},
+	}
+	for _, m := range bad {
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("model %+v accepted", m)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("model %+v: error %v does not wrap ErrInvalidModel", m, err)
+		}
+	}
+	// Degenerate-but-physical shapes stay valid: a zero-draw server and a
+	// flat (base == max) server.
+	for _, m := range []ServerModel{{}, {Base: 100, Max: 100}} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %+v rejected: %v", m, err)
+		}
 	}
 }
 

@@ -104,5 +104,9 @@ func (h HostClass) clone() HostClass {
 		}
 		h.Capability = m
 	}
+	if h.Power != nil {
+		p := *h.Power
+		h.Power = &p
+	}
 	return h
 }

@@ -120,6 +120,31 @@ func (s Scenario) Compile() (Compiled, error) {
 	return out, nil
 }
 
+// CompileProfile lowers the service's demand profile to the workload
+// layer, applying the Name override and DemandSCV exactly as the full
+// Compile does. The analytic evaluation layer (internal/eval) uses it to
+// read serving rates without building a whole cluster configuration.
+func (s Service) CompileProfile() (workload.ServiceProfile, error) {
+	profile, err := s.Profile.compile()
+	if err != nil {
+		return workload.ServiceProfile{}, err
+	}
+	if s.Name != "" {
+		profile.Name = s.Name
+	}
+	return profile, nil
+}
+
+// CompileOverhead lowers the service's virtualization-overhead spec to the
+// virt layer. A service without an overhead spec gets the zero
+// virt.HostOverhead (every factor 1).
+func (s Service) CompileOverhead() (virt.HostOverhead, error) {
+	if s.Overhead == nil {
+		return virt.HostOverhead{}, nil
+	}
+	return s.Overhead.compile()
+}
+
 func (s Service) compile() (cluster.ServiceSpec, error) {
 	profile, err := s.Profile.compile()
 	if err != nil {

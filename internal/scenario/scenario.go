@@ -212,6 +212,13 @@ type HostClass struct {
 	// Capability maps resources to speed multipliers relative to the
 	// reference server; missing resources default to 1.
 	Capability map[string]float64 `json:"capability,omitempty"`
+
+	// Power, when non-nil, overrides the scenario-level power model for
+	// hosts of this class (watts; Platform must stay empty — the fleet
+	// platform applies to every class). The analytic evaluator and the
+	// placement planner account energy per class with it; the cluster
+	// simulator's energy report keeps using the fleet-wide model.
+	Power *Power `json:"power,omitempty"`
 }
 
 // hostClassPresets are the built-in hardware classes (the paper's
@@ -634,6 +641,16 @@ func (f Fleet) validate(mode string) error {
 	return nil
 }
 
+// ResolvedCapability reports the class's capability multipliers with
+// presets expanded: nil means the reference server (every multiplier 1).
+// The returned map is shared — callers must not mutate it.
+func (h HostClass) ResolvedCapability() map[string]float64 {
+	if h.Preset != "" {
+		return hostClassPresets[h.Preset]
+	}
+	return h.Capability
+}
+
 // Validate checks one host class on its own (fleet-level checks live in
 // Scenario.Validate).
 func (h HostClass) Validate() error { return h.validate() }
@@ -655,6 +672,15 @@ func (h HostClass) validate() error {
 	for r, v := range h.Capability {
 		if r == "" || !(v > 0) || math.IsInf(v, 0) {
 			return fmt.Errorf("%w: host class capability[%s] = %g", ErrInvalid, r, v)
+		}
+	}
+	if p := h.Power; p != nil {
+		if p.BaseW <= 0 || p.MaxW < p.BaseW || math.IsNaN(p.BaseW) || math.IsNaN(p.MaxW) ||
+			math.IsInf(p.MaxW, 0) {
+			return fmt.Errorf("%w: host class power base_w=%g max_w=%g", ErrInvalid, p.BaseW, p.MaxW)
+		}
+		if p.Platform != "" {
+			return fmt.Errorf("%w: host class power takes no platform (the fleet platform applies)", ErrInvalid)
 		}
 	}
 	return nil

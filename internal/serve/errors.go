@@ -10,6 +10,7 @@ import (
 // is exactly {"error":{"code":<code>,"message":<message>}}.
 const (
 	CodeInvalidArgument  = "invalid_argument"
+	CodeInfeasible       = "infeasible"
 	CodeNotFound         = "not_found"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeBodyTooLarge     = "body_too_large"

@@ -30,6 +30,8 @@ var goldenCases = []struct {
 	{"loss", "GET", "/v1/loss?n=8&rho=5", "", 200, "loss.json"},
 	{"batch", "POST", "/v1/batch", "batch-request.json", 200, "batch.json"},
 	{"sweep", "POST", "/v1/sweep", "sweep-request.json", 200, "sweep.json"},
+	{"plan", "POST", "/v1/plan", "plan-request.json", 200, "plan.json"},
+	{"plan-infeasible", "POST", "/v1/plan", "plan-infeasible-request.json", 422, "error-plan-infeasible.json"},
 	{"bad-target", "GET", "/v1/servers?rho=5&target=2", "", 400, "error-bad-target.json"},
 	{"healthz", "GET", "/healthz", "", 200, "healthz.json"},
 }

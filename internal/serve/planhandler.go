@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/scenario"
+)
+
+// PlanRequest is the POST /v1/plan request: a declarative scenario (the
+// same JSON cmd/simulate runs), a loss target, and optional knobs of the
+// placement search.
+type PlanRequest struct {
+	// Scenario is the embedded scenario document; it is parsed with the
+	// scenario package's strict decoder so unknown fields are rejected.
+	Scenario json.RawMessage `json:"scenario"`
+
+	// Target is the loss-probability target B in (0, 1).
+	Target float64 `json:"target"`
+
+	// Objective selects "min-servers" (default) or "min-power".
+	Objective string `json:"objective,omitempty"`
+
+	// Seed drives the annealing kick; zero adopts the scenario's seed.
+	Seed int64 `json:"seed,omitempty"`
+
+	// MaxIters bounds local-search rounds; zero selects the default.
+	MaxIters int `json:"max_iters,omitempty"`
+
+	// Evaluator selects the candidate scorer: "analytic" (default,
+	// shares the hot path's Erlang memo) or "sim" (runs candidates
+	// through the shared sweep engine — budgeted and cached).
+	Evaluator string `json:"evaluator,omitempty"`
+}
+
+// handlePlan searches a placement over the unified evaluation layer: the
+// cheapest fleet (by the requested objective) whose worst per-service
+// loss meets the target. Infeasible supply is a structured 422, analytic
+// domain errors (closed-loop services, failure injection) a 400.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !s.decodePost(w, r, func(r *http.Request) error {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		return dec.Decode(&req)
+	}) {
+		return
+	}
+	if len(req.Scenario) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "plan needs a scenario")
+		return
+	}
+	if math.IsNaN(req.Target) || req.Target <= 0 || req.Target >= 1 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("target %g outside (0, 1)", req.Target))
+		return
+	}
+	switch req.Objective {
+	case "", plan.MinServers, plan.MinPower:
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("objective %q (want %q or %q)", req.Objective, plan.MinServers, plan.MinPower))
+		return
+	}
+	if req.MaxIters < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("max_iters=%d (negative; 0 selects the default)", req.MaxIters))
+		return
+	}
+	var ev eval.Evaluator
+	switch req.Evaluator {
+	case "", "analytic":
+		ev = s.analytic
+	case "sim":
+		ev = s.sim
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("evaluator %q (want \"analytic\" or \"sim\")", req.Evaluator))
+		return
+	}
+	sc, err := scenario.ParseBytes(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	p, err := plan.Search(ctx, ev, s.cfg.Pool, plan.Spec{
+		Scenario:  sc,
+		Target:    req.Target,
+		Objective: req.Objective,
+		Seed:      req.Seed,
+		MaxIters:  req.MaxIters,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, plan.ErrInfeasible):
+		writeError(w, http.StatusUnprocessableEntity, CodeInfeasible, err.Error())
+		return
+	case errors.Is(err, eval.ErrUnsupported):
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	default:
+		// Scenario validation failures surface here (Search revalidates
+		// its private clone); treat anything that is not an execution
+		// error as a bad request.
+		if r.Context().Err() == nil && ctx.Err() == nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+			return
+		}
+		writeRunError(w, r.Context(), err)
+		return
+	}
+	s.plansRun.Inc()
+	s.planEvals.Add(uint64(p.Evaluations))
+	writeJSON(w, http.StatusOK, p)
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func postPlan(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(body)))
+	return w
+}
+
+const planScenario = `{
+  "mode": "consolidated",
+  "services": [
+    {
+      "profile": { "preset": "specweb-ecommerce" },
+      "overhead": { "preset": "web" },
+      "arrivals": { "kind": "poisson", "rate": 2800 },
+      "dedicated_servers": 3
+    }
+  ],
+  "fleet": { "hosts": 4 }
+}`
+
+func TestPlanEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	w := postPlan(t, s, `{"scenario": `+planScenario+`, "target": 0.05}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var p plan.Plan
+	dec := json.NewDecoder(w.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		t.Fatalf("decoding plan: %v", err)
+	}
+	if p.Hosts <= 0 || p.Result.Loss > 0.05 || p.Mode != "consolidated" {
+		t.Fatalf("degenerate plan: %+v", p)
+	}
+	if p.Result.Source != "analytic" {
+		t.Fatalf("default evaluator = %s", p.Result.Source)
+	}
+
+	snap := s.Registry().Snapshot()
+	if got := snap.Counters["serve/plans_run"]; got != 1 {
+		t.Fatalf("serve/plans_run = %d, want 1", got)
+	}
+	if got := snap.Counters["serve/plan_evaluations"]; got == 0 {
+		t.Fatal("serve/plan_evaluations did not count candidate scores")
+	}
+}
+
+func TestPlanEndpointRejections(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"missing scenario", `{"target": 0.05}`, 400, CodeInvalidArgument},
+		{"bad target", `{"scenario": ` + planScenario + `, "target": 1.5}`, 400, CodeInvalidArgument},
+		{"zero target", `{"scenario": ` + planScenario + `, "target": 0}`, 400, CodeInvalidArgument},
+		{"bad objective", `{"scenario": ` + planScenario + `, "target": 0.05, "objective": "max-profit"}`, 400, CodeInvalidArgument},
+		{"bad evaluator", `{"scenario": ` + planScenario + `, "target": 0.05, "evaluator": "oracle"}`, 400, CodeInvalidArgument},
+		{"negative iters", `{"scenario": ` + planScenario + `, "target": 0.05, "max_iters": -1}`, 400, CodeInvalidArgument},
+		{"unknown field", `{"scenario": ` + planScenario + `, "target": 0.05, "bogus": 1}`, 400, CodeInvalidArgument},
+		{"scenario unknown field", `{"scenario": {"mode": "consolidated", "bogus": 1}, "target": 0.05}`, 400, CodeInvalidArgument},
+		{"closed-loop scenario", `{"scenario": {"mode": "consolidated",
+			"services": [{"profile": {"preset": "tpcw-ebook"},
+				"clients": 40, "think_time": {"kind": "exponential", "rate": 0.14},
+				"dedicated_servers": 1}],
+			"fleet": {"hosts": 2}}, "target": 0.05}`, 400, CodeInvalidArgument},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := postPlan(t, s, c.body)
+			if w.Code != c.status {
+				t.Fatalf("status %d, want %d; body %s", w.Code, c.status, w.Body.String())
+			}
+			if got := decodeError(t, w); got.Code != c.code {
+				t.Fatalf("code %s, want %s", got.Code, c.code)
+			}
+		})
+	}
+
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/plan", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", w.Code)
+	}
+}
+
+// An undersized supply is a structured 422, distinguishable from a malformed
+// request.
+func TestPlanEndpointInfeasible(t *testing.T) {
+	s := newTestServer(t)
+	data, err := os.ReadFile(filepath.Join("testdata", "plan-infeasible-request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postPlan(t, s, string(data))
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := decodeError(t, w); got.Code != CodeInfeasible {
+		t.Fatalf("code %s, want %s", got.Code, CodeInfeasible)
+	}
+}

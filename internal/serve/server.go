@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/erlang"
+	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sweep"
@@ -71,16 +72,20 @@ var DefaultPreheatRhos = []float64{1, 5, 10, 42.5, 50, 100, 120, 500, 1000}
 // Server is the capacity-planning service: an http.Handler plus the
 // long-lived state behind it (Erlang memo, sweep engine, metrics).
 type Server struct {
-	cfg    Config
-	reg    *obs.Registry
-	memo   *erlang.Memo
-	engine *sweep.Engine
-	routes map[string]http.Handler
-	ready  atomic.Bool
-	bufs   sync.Pool // *respBuf
+	cfg      Config
+	reg      *obs.Registry
+	memo     *erlang.Memo
+	engine   *sweep.Engine
+	analytic *eval.Analytic
+	sim      *eval.Sim
+	routes   map[string]http.Handler
+	ready    atomic.Bool
+	bufs     sync.Pool // *respBuf
 
 	sweepsRun *obs.Counter
 	sweepPts  *obs.Counter
+	plansRun  *obs.Counter
+	planEvals *obs.Counter
 }
 
 type respBuf struct{ b []byte }
@@ -118,19 +123,26 @@ func New(cfg Config) (*Server, error) {
 		cfg.PreheatServers = 1024
 	}
 
+	// One analytic evaluator owns the Erlang memo, so the hot single-query
+	// path and the placement planner share the same growing tables.
+	analytic := eval.NewAnalytic(erlang.NewMemo(0, 0))
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		memo:   erlang.NewMemo(0, 0),
-		engine: sweep.NewEngine(cfg.Pool, cfg.Cache, cfg.Registry).Scoped("serve"),
-		bufs:   sync.Pool{New: func() any { return &respBuf{b: make([]byte, 0, 256)} }},
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		memo:     analytic.Memo(),
+		analytic: analytic,
+		engine:   sweep.NewEngine(cfg.Pool, cfg.Cache, cfg.Registry).Scoped("serve"),
+		bufs:     sync.Pool{New: func() any { return &respBuf{b: make([]byte, 0, 256)} }},
 	}
+	s.sim = eval.NewSim(s.engine)
 	s.reg.CounterFunc("serve/memo_hits", s.memo.Hits)
 	s.reg.CounterFunc("serve/memo_misses", s.memo.Misses)
 	s.reg.CounterFunc("serve/memo_fallbacks", s.memo.Fallbacks)
 	s.reg.GaugeFunc("serve/memo_rhos", func() float64 { return float64(s.memo.Rhos()) })
 	s.sweepsRun = s.reg.Counter("serve/sweeps_run")
 	s.sweepPts = s.reg.Counter("serve/sweep_points")
+	s.plansRun = s.reg.Counter("serve/plans_run")
+	s.planEvals = s.reg.Counter("serve/plan_evaluations")
 	cfg.Pool.Observe(s.reg)
 
 	s.routes = map[string]http.Handler{
@@ -138,6 +150,7 @@ func New(cfg Config) (*Server, error) {
 		"/v1/loss":    s.route("loss", s.handleLoss),
 		"/v1/batch":   s.route("batch", s.handleBatch),
 		"/v1/sweep":   s.route("sweep", s.handleSweep),
+		"/v1/plan":    s.route("plan", s.handlePlan),
 		"/healthz":    s.route("healthz", s.handleHealthz),
 		"/readyz":     s.route("readyz", s.handleReadyz),
 		"/metrics":    s.route("metrics", s.handleMetrics),
