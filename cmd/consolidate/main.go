@@ -39,6 +39,14 @@
 // -target, as stable JSON suitable for byte-diffed goldens:
 //
 //	consolidate -scenario examples/scenarios/plan-hetero.json -plan -objective min-power
+//
+// A scenario with a "periods" block (named time bins with per-service
+// rate multipliers) plans per bin with -plan -periods: each bin gets the
+// cheapest feasible fleet, adjacent bins collapse onto one placement
+// whenever -migration-cost (Wh per VM move) outweighs the energy saved,
+// and the output adds the migration schedule and the day's watt-hours:
+//
+//	consolidate -scenario examples/scenarios/periods-day.json -plan -periods -migration-cost 12
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/core"
@@ -65,6 +74,8 @@ func main() {
 	dbServers := flag.Int("db", 4, "case study: dedicated DB pool size")
 	target := flag.Float64("target", experiments.LossTarget, "loss-probability target B in (0,1) for -scenario and -plan")
 	doPlan := flag.Bool("plan", false, "search a placement meeting -target instead of solving M/N (requires -scenario)")
+	doPeriods := flag.Bool("periods", false, "plan the scenario's time bins as a multi-period schedule (requires -plan and a periods scenario)")
+	migrationCost := flag.Float64("migration-cost", 0, "period-plan charge in Wh per VM move, finite and >= 0 (requires -periods)")
 	objective := flag.String("objective", plan.MinServers, `plan objective: "min-servers" or "min-power"`)
 	planSeed := flag.Int64("plan-seed", 0, "plan annealing seed (0 adopts the scenario's seed)")
 	evaluator := flag.String("evaluator", "analytic", `plan candidate scorer: "analytic" or "sim"`)
@@ -80,7 +91,7 @@ func main() {
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := checkFlagConflicts(explicit, *scenarioPath, *specPath, *caseStudy, *doPlan); err != nil {
+	if err := checkFlagConflicts(explicit, *scenarioPath, *specPath, *caseStudy, *doPlan, *doPeriods); err != nil {
 		die("%v", err)
 	}
 
@@ -98,7 +109,7 @@ func main() {
 			die("%v", err)
 		}
 		if *doPlan {
-			out, err := runPlan(s, *target, *objective, *planSeed, *evaluator)
+			out, err := runPlan(s, *target, *objective, *planSeed, *evaluator, *doPeriods, *migrationCost)
 			if err != nil {
 				die("%v", err)
 			}
@@ -180,7 +191,7 @@ func main() {
 
 // checkFlagConflicts rejects contradictory combinations up front, before
 // any defaulting can paper over them (the cmd/simulate convention).
-func checkFlagConflicts(explicit map[string]bool, scenarioPath, specPath string, caseStudy, doPlan bool) error {
+func checkFlagConflicts(explicit map[string]bool, scenarioPath, specPath string, caseStudy, doPlan, doPeriods bool) error {
 	sources := 0
 	for _, set := range []bool{scenarioPath != "", specPath != "", caseStudy} {
 		if set {
@@ -199,6 +210,12 @@ func checkFlagConflicts(explicit map[string]bool, scenarioPath, specPath string,
 	}
 	if explicit["target"] && scenarioPath == "" {
 		return errors.New("-target needs -scenario: a -spec model carries its own lossTarget and the case study pins 0.05")
+	}
+	if doPeriods && !doPlan {
+		return errors.New("-periods schedules per-bin placements and needs -plan")
+	}
+	if explicit["migration-cost"] && !doPeriods {
+		return errors.New("-migration-cost charges period-plan reconfigurations and needs -periods")
 	}
 	if doPlan {
 		if scenarioPath == "" {
@@ -236,9 +253,10 @@ func loadScenario(path string) (scenario.Scenario, error) {
 	return scenario.Parse(r)
 }
 
-// runPlan searches a placement for the scenario and renders it as the
-// stable JSON cmd output and CI goldens byte-diff.
-func runPlan(s scenario.Scenario, target float64, objective string, seed int64, evaluator string) ([]byte, error) {
+// runPlan searches a placement for the scenario — a single fleet, or
+// with periods a per-bin schedule — and renders it as the stable JSON
+// cmd output and CI goldens byte-diff.
+func runPlan(s scenario.Scenario, target float64, objective string, seed int64, evaluator string, periods bool, migrationCostWh float64) ([]byte, error) {
 	var ev eval.Evaluator
 	switch evaluator {
 	case "analytic":
@@ -248,12 +266,26 @@ func runPlan(s scenario.Scenario, target float64, objective string, seed int64, 
 	default:
 		return nil, fmt.Errorf(`-evaluator must be "analytic" or "sim", got %q`, evaluator)
 	}
-	p, err := plan.Search(context.Background(), ev, nil, plan.Spec{
+	spec := plan.Spec{
 		Scenario:  s,
 		Target:    target,
 		Objective: objective,
 		Seed:      seed,
-	})
+	}
+	if periods {
+		// JSON cannot carry ±Inf, so the encodable CLI surface insists on
+		// a finite charge (the library accepts +Inf to force a static
+		// plan; experiments use that form directly).
+		if math.IsNaN(migrationCostWh) || math.IsInf(migrationCostWh, 0) || migrationCostWh < 0 {
+			return nil, fmt.Errorf("-migration-cost %g: want a finite charge >= 0 Wh per VM move", migrationCostWh)
+		}
+		pp, err := plan.SearchPeriods(context.Background(), ev, nil, spec, migrationCostWh)
+		if err != nil {
+			return nil, err
+		}
+		return pp.EncodeJSON()
+	}
+	p, err := plan.Search(context.Background(), ev, nil, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -83,6 +84,7 @@ func TestCheckFlagConflicts(t *testing.T) {
 		specPath     string
 		caseStudy    bool
 		doPlan       bool
+		doPeriods    bool
 		wantErr      bool
 	}{
 		{name: "scenario alone", scenarioPath: "s.json"},
@@ -100,13 +102,18 @@ func TestCheckFlagConflicts(t *testing.T) {
 		{name: "plan-seed without plan", explicit: []string{"plan-seed"}, scenarioPath: "s.json", wantErr: true},
 		{name: "evaluator without plan", explicit: []string{"evaluator"}, scenarioPath: "s.json", wantErr: true},
 		{name: "target with scenario", explicit: []string{"target"}, scenarioPath: "s.json"},
+		{name: "periods plan", explicit: []string{"periods"}, scenarioPath: "s.json", doPlan: true, doPeriods: true},
+		{name: "periods without plan", explicit: []string{"periods"}, scenarioPath: "s.json", doPeriods: true, wantErr: true},
+		{name: "migration-cost with periods", explicit: []string{"migration-cost"}, scenarioPath: "s.json", doPlan: true, doPeriods: true},
+		{name: "migration-cost without periods", explicit: []string{"migration-cost"}, scenarioPath: "s.json", doPlan: true, wantErr: true},
+		{name: "migration-cost without plan", explicit: []string{"migration-cost"}, scenarioPath: "s.json", wantErr: true},
 	}
 	for _, c := range cases {
 		explicit := map[string]bool{}
 		for _, name := range c.explicit {
 			explicit[name] = true
 		}
-		err := checkFlagConflicts(explicit, c.scenarioPath, c.specPath, c.caseStudy, c.doPlan)
+		err := checkFlagConflicts(explicit, c.scenarioPath, c.specPath, c.caseStudy, c.doPlan, c.doPeriods)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
 		}
@@ -120,11 +127,11 @@ func TestRunPlanOnExampleScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := runPlan(s, 0.05, "min-servers", 0, "analytic")
+	out, err := runPlan(s, 0.05, "min-servers", 0, "analytic", false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	again, err := runPlan(s, 0.05, "min-servers", 0, "analytic")
+	again, err := runPlan(s, 0.05, "min-servers", 0, "analytic", false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,8 +141,22 @@ func TestRunPlanOnExampleScenario(t *testing.T) {
 	if out[len(out)-1] != '\n' {
 		t.Fatal("plan output must be newline-terminated for byte-diffed goldens")
 	}
-	if _, err := runPlan(s, 0.05, "min-servers", 0, "quantum"); err == nil {
+	if _, err := runPlan(s, 0.05, "min-servers", 0, "quantum", false, 0); err == nil {
 		t.Fatal("unknown evaluator accepted")
+	}
+}
+
+// The encodable CLI surface pins a finite migration charge: JSON cannot
+// carry ±Inf, so non-finite and negative costs are refused up front.
+func TestRunPlanPeriodsRejectsNonFiniteCost(t *testing.T) {
+	s, err := loadScenario("../../examples/scenarios/periods-day.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cost := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), -3} {
+		if _, err := runPlan(s, 0.05, "min-servers", 0, "analytic", true, cost); err == nil {
+			t.Errorf("migration cost %g accepted", cost)
+		}
 	}
 }
 
@@ -147,16 +168,19 @@ func TestPlanGoldens(t *testing.T) {
 		golden    string
 		scenario  string
 		objective string
+		periods   bool
+		costWh    float64
 	}{
-		{"plan-sharded-fleet.json", "../../examples/scenarios/sharded-fleet.json", "min-servers"},
-		{"plan-hetero.json", "../../examples/scenarios/plan-hetero.json", "min-power"},
+		{golden: "plan-sharded-fleet.json", scenario: "../../examples/scenarios/sharded-fleet.json", objective: "min-servers"},
+		{golden: "plan-hetero.json", scenario: "../../examples/scenarios/plan-hetero.json", objective: "min-power"},
+		{golden: "plan-periods.json", scenario: "../../examples/scenarios/periods-day.json", objective: "min-servers", periods: true, costWh: 12},
 	}
 	for _, c := range cases {
 		s, err := loadScenario(c.scenario)
 		if err != nil {
 			t.Fatalf("%s: %v", c.scenario, err)
 		}
-		out, err := runPlan(s, 0.05, c.objective, 0, "analytic")
+		out, err := runPlan(s, 0.05, c.objective, 0, "analytic", c.periods, c.costWh)
 		if err != nil {
 			t.Fatalf("%s: %v", c.golden, err)
 		}

@@ -1,0 +1,54 @@
+package diurnal
+
+import "math"
+
+// dayShapeValues is the canonical 24-bin diurnal rate-multiplier profile:
+// a night trough and an evening peak around a mean of roughly 1, the
+// coarse version of the paper's Fig. 2 daily cycle. It is the single
+// source both the load harness (loadgen.DefaultShape) and the scenario
+// periods defaulting draw from.
+var dayShapeValues = []float64{
+	0.3, 0.2, 0.2, 0.2, 0.3, 0.4, 0.6, 0.9, 1.2, 1.4, 1.5, 1.4,
+	1.3, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.7, 1.4, 1.0, 0.7, 0.5,
+}
+
+// DayShape returns the canonical one-day rate-multiplier series: 24
+// hourly bins. The returned series owns its values — callers may mutate
+// it freely.
+func DayShape() Series {
+	return Series{
+		Name:   "day-shape",
+		BinSec: 3600,
+		Values: append([]float64(nil), dayShapeValues...),
+	}
+}
+
+// At reports the intensity of the bin whose window
+// [bin·BinSec, (bin+1)·BinSec) strictly contains t, wrapping t cyclically
+// onto the series period (the series describes a repeating day). An
+// invalid series (no values, non-positive bin width) reports NaN.
+//
+// Plain truncation int(t/BinSec) can land one bin early when t sits on a
+// bin edge that is not exactly representable: the quotient t/BinSec
+// rounds just below the integer, so the lookup reads the previous bin
+// whose window has already ended. Like the NHPP rateAt guard, At sweeps
+// forward until the window end strictly exceeds t.
+func (s Series) At(t float64) float64 {
+	n := len(s.Values)
+	if n == 0 || !(s.BinSec > 0) || math.IsNaN(t) || math.IsInf(t, 0) {
+		return math.NaN()
+	}
+	period := s.BinSec * float64(n)
+	t = math.Mod(t, period)
+	if t < 0 {
+		t += period
+	}
+	bin := int(t / s.BinSec)
+	if bin >= n {
+		bin = n - 1
+	}
+	for bin+1 < n && float64(bin+1)*s.BinSec <= t {
+		bin++
+	}
+	return s.Values[bin]
+}

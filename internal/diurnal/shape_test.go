@@ -1,0 +1,83 @@
+package diurnal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDayShape(t *testing.T) {
+	s := DayShape()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 24 || s.BinSec != 3600 {
+		t.Fatalf("day shape is %d bins of %gs", len(s.Values), s.BinSec)
+	}
+	// The canonical shape keeps a mean near 1 (it multiplies base rates)
+	// and a clear evening peak over the night trough.
+	if m := s.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("day shape mean %g", m)
+	}
+	if s.Peak() != 1.8 || s.Values[2] != 0.2 {
+		t.Fatalf("day shape drifted: peak %g, 2am %g", s.Peak(), s.Values[2])
+	}
+	// The returned series owns its values.
+	s.Values[0] = 99
+	if DayShape().Values[0] == 99 {
+		t.Fatal("DayShape aliases its backing array")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{BinSec: 10, Values: []float64{1, 2, 3}}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 1}, {9.999, 1}, {10, 2}, {25, 3}, {29.999, 3},
+		{30, 1},  // wraps onto the next day
+		{65, 1},  // two full periods in
+		{-5, 3},  // negative times wrap backwards
+		{-30, 1}, // exactly one period back
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if !math.IsNaN((Series{}).At(1)) || !math.IsNaN(s.At(math.Inf(1))) {
+		t.Error("invalid lookups must report NaN")
+	}
+}
+
+// TestSeriesAtBoundaryBins pins the float-truncation contract At shares
+// with the NHPP rateAt guard: with a bin width that is not exactly
+// representable (1/80 s here), a time sitting exactly on a bin edge can
+// make int(t/BinSec) round one bin low, so a naive lookup reads a bin
+// whose window has already ended. At must report the bin whose window
+// strictly contains t.
+func TestSeriesAtBoundaryBins(t *testing.T) {
+	const binSec = 0.0125
+	// Find a boundary whose quotient rounds down across the integer.
+	k := 0
+	for i := 1; i < 1_000_000; i++ {
+		edge := float64(i) * binSec
+		if int(edge/binSec) < i {
+			k = i
+			break
+		}
+	}
+	if k == 0 {
+		t.Skip("no truncating boundary below 1e6 for this bin width")
+	}
+	n := k + 2 // keep the truncating edge interior to one period
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s := Series{BinSec: binSec, Values: values}
+	edge := float64(k) * binSec
+	if got := s.At(edge); got != float64(k) {
+		t.Fatalf("At(edge %d) = %g, want %d (read the already-ended bin)", k, got, k)
+	}
+}

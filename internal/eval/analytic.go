@@ -228,6 +228,9 @@ func ModelFromScenario(s scenario.Scenario, lossTarget float64) (*core.Model, er
 	if err := resolved.Validate(); err != nil {
 		return nil, err
 	}
+	if resolved.Periods != nil {
+		return nil, fmt.Errorf("%w: a periods scenario is time-varying; evaluate its resolved bins (EvaluatePeriods)", ErrUnsupported)
+	}
 	if resolved.Failures != nil {
 		return nil, fmt.Errorf("%w: failure injection has no analytic form", ErrUnsupported)
 	}

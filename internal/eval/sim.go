@@ -38,28 +38,60 @@ func NewSim(engine *sweep.Engine) *Sim {
 func (e *Sim) SelfBudgeted() bool { return true }
 
 // Evaluate runs the candidate through the sweep engine and folds the
-// point summary into the shared Result shape. Loss is the worst
-// per-service simulated loss; a service whose window saw no arrivals
-// reports the overall loss instead of NaN.
+// point summary into the shared Result shape.
 func (e *Sim) Evaluate(ctx context.Context, s scenario.Scenario) (Result, error) {
-	resolved := s.Clone()
-	resolved.ApplyDefaults()
-	if err := resolved.Validate(); err != nil {
-		return Result{}, err
-	}
-	label := resolved.Name
-	if label == "" {
-		label = "candidate"
-	}
-	results, err := e.engine.RunPoints(ctx, []sweep.Point{{Index: 0, Label: label, Scenario: resolved}})
+	results, err := e.EvaluateBatch(ctx, []scenario.Scenario{s})
 	if err != nil {
 		return Result{}, err
 	}
-	if len(results) != 1 {
-		return Result{}, fmt.Errorf("eval: sim returned %d points for one candidate", len(results))
-	}
-	pr := results[0]
+	return results[0], nil
+}
 
+// EvaluateBatch runs all candidates through the sweep engine as one
+// point batch — one pass through the pool budget and the result cache —
+// and folds each point summary into the shared Result shape, index-
+// addressed against cands. Loss is the worst per-service simulated loss;
+// a service whose window saw no arrivals reports the overall loss
+// instead of NaN.
+func (e *Sim) EvaluateBatch(ctx context.Context, cands []scenario.Scenario) ([]Result, error) {
+	points := make([]sweep.Point, len(cands))
+	resolved := make([]scenario.Scenario, len(cands))
+	for i := range cands {
+		r := cands[i].Clone()
+		r.ApplyDefaults()
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if r.Periods != nil {
+			return nil, fmt.Errorf("%w: a periods scenario is time-varying; evaluate its resolved bins (EvaluatePeriods)", ErrUnsupported)
+		}
+		label := r.Name
+		if label == "" {
+			label = "candidate"
+		}
+		resolved[i] = r
+		points[i] = sweep.Point{Index: i, Label: label, Scenario: r}
+	}
+	prs, err := e.engine.RunPoints(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	if len(prs) != len(points) {
+		return nil, fmt.Errorf("eval: sim returned %d points for %d candidates", len(prs), len(points))
+	}
+	out := make([]Result, len(prs))
+	for i, pr := range prs {
+		res, err := foldSimPoint(resolved[i], pr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// foldSimPoint folds one sweep point summary into the shared Result shape.
+func foldSimPoint(resolved scenario.Scenario, pr sweep.PointResult) (Result, error) {
 	resources, err := ScenarioResources(resolved)
 	if err != nil {
 		return Result{}, err

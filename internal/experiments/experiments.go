@@ -176,6 +176,7 @@ func All() []Experiment {
 		{"ablation-alloc", "Ablation: resource-flowing granularity", runAllocAblation},
 		{"ablation-diurnal", "Ablation: nonstationary diurnal traffic", runDiurnal},
 		{"ablation-plan", "Ablation: placement planner vs analytic sizing", runPlanAblation},
+		{"ablation-diurnal-plan", "Ablation: multi-period diurnal planning vs static peak", runDiurnalPlan},
 	}
 }
 

@@ -85,7 +85,7 @@ func PlanAblation(cfg Config) (*PlanAblationResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ablation-plan: %s/%s: %w", c.fleet, c.objective, err)
 		}
-		placed := placedScenario(c.s, p)
+		placed := p.Apply(c.s)
 		placed.Horizon = cfg.scale(120)
 		simRes, err := sim.Evaluate(ctx, placed)
 		if err != nil {
@@ -103,27 +103,6 @@ func PlanAblation(cfg Config) (*PlanAblationResult, error) {
 		})
 	}
 	return res, nil
-}
-
-// placedScenario reconstructs the concrete scenario a plan describes, so
-// the chosen placement can be re-scored by a different evaluator.
-func placedScenario(s scenario.Scenario, p plan.Plan) scenario.Scenario {
-	c := s.Clone()
-	if len(p.Classes) == 0 {
-		c.Fleet = scenario.Fleet{Hosts: p.Hosts}
-		return c
-	}
-	supply := c.Fleet.Classes
-	c.Fleet = scenario.Fleet{}
-	for i, cc := range p.Classes {
-		if cc.Count == 0 {
-			continue
-		}
-		hc := supply[i]
-		hc.Count = cc.Count
-		c.Fleet.Classes = append(c.Fleet.Classes, hc)
-	}
-	return c
 }
 
 // Tables renders the ablation.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -53,11 +54,66 @@ func TestPlanAblation(t *testing.T) {
 
 // The registry exposes the ablation under its ID.
 func TestPlanAblationRegistered(t *testing.T) {
-	e, ok := Lookup("ablation-plan")
-	if !ok {
-		t.Fatal("ablation-plan not registered")
+	for _, id := range []string{"ablation-plan", "ablation-diurnal-plan"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("%s: incomplete registration: %+v", id, e)
+		}
 	}
-	if e.Run == nil || e.Title == "" {
-		t.Fatalf("incomplete registration: %+v", e)
+}
+
+// The diurnal ablation's acceptance criteria: every policy keeps every
+// bin under the loss target, the smoothed day strictly beats the static
+// peak fleet on watt-hours, energy orders per-bin ≤ smoothed ≤ static,
+// and the bracket policies degenerate correctly (static never migrates;
+// zero cost resizes every bin).
+func TestDiurnalPlanAblation(t *testing.T) {
+	r, err := DiurnalPlan(Config{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	rows := map[string]DiurnalPlanRow{}
+	for _, row := range r.Rows {
+		rows[row.Policy] = row
+		if row.MaxBinLoss > LossTarget {
+			t.Errorf("%s: max bin loss %g above target", row.Policy, row.MaxBinLoss)
+		}
+		if row.Segments <= 0 || row.MinHosts <= 0 || row.MaxHosts < row.MinHosts {
+			t.Errorf("%s: degenerate row %+v", row.Policy, row)
+		}
+	}
+	static, smoothed, perBin := rows["static-peak"], rows["smoothed"], rows["per-bin"]
+	if static.Migrations != 0 || static.MigrationWh != 0 || static.MinHosts != static.MaxHosts {
+		t.Errorf("static policy moved: %+v", static)
+	}
+	if perBin.Segments != 24 {
+		t.Errorf("zero cost kept %d segments, want 24", perBin.Segments)
+	}
+	if !(smoothed.TotalWh < static.TotalWh) {
+		t.Errorf("smoothed day %g Wh does not beat static %g Wh", smoothed.TotalWh, static.TotalWh)
+	}
+	if perBin.EnergyWh > smoothed.EnergyWh+1e-9 || smoothed.EnergyWh > static.EnergyWh+1e-9 {
+		t.Errorf("energy not ordered per-bin ≤ smoothed ≤ static: %g, %g, %g",
+			perBin.EnergyWh, smoothed.EnergyWh, static.EnergyWh)
+	}
+	if r.SmoothedWh != smoothed.TotalWh || r.StaticWh != static.TotalWh {
+		t.Errorf("headline totals diverge from rows: %+v", r)
+	}
+	if math.IsNaN(r.PeakSimLoss) || r.PeakSimLoss < 0 || r.PeakSimLoss > 1 {
+		t.Errorf("peak sim loss %g outside [0, 1]", r.PeakSimLoss)
+	}
+
+	tables := r.Tables()
+	if len(tables) != 1 || tables[0].ID != "ablation-diurnal-plan" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if !strings.Contains(tables[0].String(), "saved") {
+		t.Fatal("table misses the savings note")
 	}
 }

@@ -23,18 +23,17 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/diurnal"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 // DefaultShape is the diurnal session-rate profile: 24 "hours" of rate
 // multipliers (mean 1) with a night trough and an evening peak, compressed
-// onto the run duration. It is a coarse version of the paper's Fig. 2
-// daily cycle.
-var DefaultShape = []float64{
-	0.3, 0.2, 0.2, 0.2, 0.3, 0.4, 0.6, 0.9, 1.2, 1.4, 1.5, 1.4,
-	1.3, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.7, 1.4, 1.0, 0.7, 0.5,
-}
+// onto the run duration. It is the canonical day shape of
+// internal/diurnal — the same profile scenario periods default from — so
+// the load harness and the multi-period planner exercise the same day.
+var DefaultShape = diurnal.DayShape().Values
 
 // DefaultTargets is the request mix: the single-query hot endpoints with a
 // small rotating parameter set (so the service's Erlang memo sees repeat

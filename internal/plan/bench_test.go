@@ -31,3 +31,20 @@ func BenchmarkPlan(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPlanPeriods times a full analytic multi-period plan over the
+// default 24-bin diurnal day: per-peak segment searches, the bin-grid
+// scoring batch, and the segmentation dynamic program. Same no-
+// ReportAllocs policy as BenchmarkPlan.
+func BenchmarkPlanPeriods(b *testing.B) {
+	s := scenario.CaseStudy(4, 4, "consolidated", 0)
+	s.Periods = &scenario.Periods{}
+	ev := eval.NewAnalytic(nil)
+	spec := plan.Spec{Scenario: s, Target: 0.05, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.SearchPeriods(context.Background(), ev, nil, spec, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -144,6 +144,40 @@ func (p Plan) EncodeJSON() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// Apply stamps the plan's placement onto a scenario: the homogeneous
+// host count, the per-class counts (zero-count classes dropped, exactly
+// as the searcher's own candidates drop them), or the per-service
+// dedicated pool sizes. The scenario must share the plan's mode and
+// shape — same class supply or service list, in order. Apply is how a
+// plan chosen at one operating point is re-evaluated at another: the
+// multi-period planner scores each time bin under its segment's plan,
+// and the ablation experiments replay a placement against simulation.
+func (p Plan) Apply(s scenario.Scenario) scenario.Scenario {
+	c := s.Clone()
+	switch {
+	case len(p.Dedicated) > 0:
+		for i := range c.Services {
+			if i < len(p.Dedicated) {
+				c.Services[i].DedicatedServers = p.Dedicated[i].Servers
+			}
+		}
+	case len(p.Classes) > 0:
+		classes := c.Fleet.Classes
+		c.Fleet = scenario.Fleet{}
+		for k := range classes {
+			if k >= len(p.Classes) || p.Classes[k].Count == 0 {
+				continue
+			}
+			hc := classes[k]
+			hc.Count = p.Classes[k].Count
+			c.Fleet.Classes = append(c.Fleet.Classes, hc)
+		}
+	default:
+		c.Fleet = scenario.Fleet{Hosts: p.Hosts}
+	}
+	return c
+}
+
 // className names a host class for reporting: the explicit name, else
 // the preset.
 func className(hc scenario.HostClass) string {

@@ -28,6 +28,9 @@ func Search(ctx context.Context, ev eval.Evaluator, p *pool.Pool, spec Spec) (Pl
 	if err := resolved.Validate(); err != nil {
 		return Plan{}, err
 	}
+	if resolved.Periods != nil {
+		return Plan{}, fmt.Errorf("%w: a periods scenario is time-varying; plan it bin by bin (SearchPeriods)", eval.ErrUnsupported)
+	}
 	if spec.Seed == 0 {
 		spec.Seed = int64(resolved.Seed)
 	}

@@ -38,6 +38,18 @@ func (s Scenario) Clone() Scenario {
 		r := *s.Replication
 		s.Replication = &r
 	}
+	if s.Periods != nil {
+		p := *s.Periods
+		if p.Bins != nil {
+			bins := make([]PeriodBin, len(p.Bins))
+			for i, b := range p.Bins {
+				b.Multipliers = append([]float64(nil), b.Multipliers...)
+				bins[i] = b
+			}
+			p.Bins = bins
+		}
+		s.Periods = &p
+	}
 	return s
 }
 

@@ -54,6 +54,9 @@ func (s Scenario) Compile() (Compiled, error) {
 	if err := s.Validate(); err != nil {
 		return Compiled{}, err
 	}
+	if s.Periods != nil {
+		return Compiled{}, fmt.Errorf("%w: a periods scenario has no single cluster configuration; resolve it to per-bin sub-scenarios first (ResolvePeriods)", ErrInvalid)
+	}
 	s.ApplyDefaults()
 
 	var out Compiled

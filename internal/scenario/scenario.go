@@ -87,6 +87,14 @@ type Scenario struct {
 	// density heuristic for sharded ones). The queues fire events in the
 	// identical order, so the choice never changes results.
 	EventQueue string `json:"event_queue,omitempty"`
+
+	// Periods, when non-nil, makes the scenario time-aware: named time
+	// bins scaling the services' arrival rates (defaulting to the
+	// canonical 24-bin diurnal day). Periods scenarios do not compile to
+	// one cluster configuration — ResolvePeriods lowers them to one
+	// stationary sub-scenario per bin for eval.EvaluatePeriods and
+	// plan.SearchPeriods.
+	Periods *Periods `json:"periods,omitempty"`
 }
 
 // Service describes one hosted service.
@@ -392,6 +400,9 @@ func (s *Scenario) ApplyDefaults() {
 			hc.Name = hc.Preset
 		}
 	}
+	if s.Periods != nil {
+		s.Periods.applyDefaults()
+	}
 }
 
 // Validate checks the scenario. It accepts both raw and resolved
@@ -476,6 +487,11 @@ func (s Scenario) validate() error {
 	case "", "auto", "heap", "wheel":
 	default:
 		return fmt.Errorf("%w: event_queue %q (want auto, heap or wheel)", ErrInvalid, s.EventQueue)
+	}
+	if s.Periods != nil {
+		if err := s.Periods.validate(s.Services); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -53,6 +54,24 @@ func TestExamplesValidateAndCompile(t *testing.T) {
 		}
 		if err := s.Validate(); err != nil {
 			t.Fatalf("%s: %v", file, err)
+		}
+		if s.Periods != nil {
+			// Periods scenarios are planning constructs: they must refuse
+			// to compile as a single cluster configuration, and every
+			// resolved bin must compile instead.
+			if _, err := s.Compile(); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("%s: periods scenario compiled (err %v), want ErrInvalid", file, err)
+			}
+			bins, err := s.ResolvePeriods()
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			for _, b := range bins {
+				if _, err := b.Scenario.Compile(); err != nil {
+					t.Fatalf("%s bin %s: %v", file, b.Name, err)
+				}
+			}
+			continue
 		}
 		if _, err := s.Compile(); err != nil {
 			t.Fatalf("%s: %v", file, err)

@@ -32,6 +32,9 @@ var goldenCases = []struct {
 	{"sweep", "POST", "/v1/sweep", "sweep-request.json", 200, "sweep.json"},
 	{"plan", "POST", "/v1/plan", "plan-request.json", 200, "plan.json"},
 	{"plan-infeasible", "POST", "/v1/plan", "plan-infeasible-request.json", 422, "error-plan-infeasible.json"},
+	{"plan-periods", "POST", "/v1/plan", "plan-periods-request.json", 200, "plan-periods.json"},
+	{"plan-periods-unknown", "POST", "/v1/plan", "plan-periods-unknown-request.json", 400, "error-plan-periods-unknown.json"},
+	{"plan-periods-infeasible", "POST", "/v1/plan", "plan-periods-infeasible-request.json", 422, "error-plan-periods-infeasible.json"},
 	{"bad-target", "GET", "/v1/servers?rho=5&target=2", "", 400, "error-bad-target.json"},
 	{"healthz", "GET", "/healthz", "", 200, "healthz.json"},
 }

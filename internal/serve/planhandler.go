@@ -36,6 +36,22 @@ type PlanRequest struct {
 	// shares the hot path's Erlang memo) or "sim" (runs candidates
 	// through the shared sweep engine — budgeted and cached).
 	Evaluator string `json:"evaluator,omitempty"`
+
+	// Periods, when present, asks for a multi-period schedule instead of
+	// a single placement: the scenario must carry a "periods" spec, and
+	// the response is a plan.PeriodPlan (per-bin plans, the migration
+	// schedule, and the day's watt-hours).
+	Periods *PlanPeriods `json:"periods,omitempty"`
+}
+
+// PlanPeriods is the periods block of a plan request. The enclosing
+// decoder rejects unknown fields recursively, so typos inside this block
+// are structured 400s, not silently-defaulted knobs.
+type PlanPeriods struct {
+	// MigrationCostWh charges every VM move at a segment boundary;
+	// finite and >= 0 (the JSON surface cannot carry +Inf — omit the
+	// periods block and plan the peak yourself for a static fleet).
+	MigrationCostWh float64 `json:"migration_cost_wh,omitempty"`
 }
 
 // handlePlan searches a placement over the unified evaluation layer: the
@@ -83,6 +99,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("evaluator %q (want \"analytic\" or \"sim\")", req.Evaluator))
 		return
 	}
+	if req.Periods != nil {
+		if c := req.Periods.MigrationCostWh; math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Sprintf("periods.migration_cost_wh %g: want a finite charge >= 0 Wh per VM move", c))
+			return
+		}
+	}
 	sc, err := scenario.ParseBytes(req.Scenario)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
@@ -91,13 +114,22 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	p, err := plan.Search(ctx, ev, s.cfg.Pool, plan.Spec{
+	spec := plan.Spec{
 		Scenario:  sc,
 		Target:    req.Target,
 		Objective: req.Objective,
 		Seed:      req.Seed,
 		MaxIters:  req.MaxIters,
-	})
+	}
+	var result any
+	var evaluations int
+	if req.Periods != nil {
+		pp, perr := plan.SearchPeriods(ctx, ev, s.cfg.Pool, spec, req.Periods.MigrationCostWh)
+		result, evaluations, err = pp, pp.Evaluations, perr
+	} else {
+		p, perr := plan.Search(ctx, ev, s.cfg.Pool, spec)
+		result, evaluations, err = p, p.Evaluations, perr
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, plan.ErrInfeasible):
@@ -109,7 +141,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	default:
 		// Scenario validation failures surface here (Search revalidates
 		// its private clone); treat anything that is not an execution
-		// error as a bad request.
+		// error as a bad request. A periods block on a periods-free
+		// scenario (and the converse) lands here too.
 		if r.Context().Err() == nil && ctx.Err() == nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 			return
@@ -118,6 +151,6 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.plansRun.Inc()
-	s.planEvals.Add(uint64(p.Evaluations))
-	writeJSON(w, http.StatusOK, p)
+	s.planEvals.Add(uint64(evaluations))
+	writeJSON(w, http.StatusOK, result)
 }

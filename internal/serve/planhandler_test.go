@@ -101,6 +101,90 @@ func TestPlanEndpointRejections(t *testing.T) {
 	}
 }
 
+const periodsScenario = `{
+  "mode": "consolidated",
+  "services": [
+    {
+      "profile": { "preset": "specweb-ecommerce" },
+      "overhead": { "preset": "web" },
+      "arrivals": { "kind": "poisson", "rate": 2800 },
+      "dedicated_servers": 3
+    }
+  ],
+  "fleet": { "hosts": 4 },
+  "periods": {
+    "bin_sec": 28800,
+    "bins": [
+      { "name": "off", "multiplier": 0.4 },
+      { "name": "mid", "multiplier": 1.0 },
+      { "name": "peak", "multiplier": 1.3 }
+    ]
+  }
+}`
+
+// A periods request returns a full multi-period schedule: per-bin plans
+// in time order, consistent energy accounting, and the shared plan
+// counters ticking.
+func TestPlanEndpointPeriods(t *testing.T) {
+	s := newTestServer(t)
+	w := postPlan(t, s, `{"scenario": `+periodsScenario+`, "target": 0.05, "periods": {"migration_cost_wh": 12}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var pp plan.PeriodPlan
+	dec := json.NewDecoder(w.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pp); err != nil {
+		t.Fatalf("decoding period plan: %v", err)
+	}
+	if len(pp.Bins) != 3 || pp.MigrationCostWh != 12 || pp.Mode != "consolidated" {
+		t.Fatalf("degenerate period plan: %+v", pp)
+	}
+	for _, b := range pp.Bins {
+		if b.Hosts <= 0 || b.Result.Loss > 0.05 {
+			t.Fatalf("bin %s: hosts=%d loss=%g", b.Name, b.Hosts, b.Result.Loss)
+		}
+	}
+	if pp.TotalWh != pp.EnergyWh+pp.MigrationWh {
+		t.Fatalf("totals inconsistent: %+v", pp)
+	}
+	snap := s.Registry().Snapshot()
+	if got := snap.Counters["serve/plans_run"]; got != 1 {
+		t.Fatalf("serve/plans_run = %d, want 1", got)
+	}
+	if got := snap.Counters["serve/plan_evaluations"]; got == 0 {
+		t.Fatal("serve/plan_evaluations did not count period-plan scores")
+	}
+}
+
+// The periods surface rejects malformed requests as structured 400s:
+// bad costs, typos inside the periods block (the strict decoder is
+// recursive), a periods block on a periods-free scenario, and a periods
+// scenario without the periods block.
+func TestPlanEndpointPeriodsRejections(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"negative cost", `{"scenario": ` + periodsScenario + `, "target": 0.05, "periods": {"migration_cost_wh": -1}}`},
+		{"unknown field in periods block", `{"scenario": ` + periodsScenario + `, "target": 0.05, "periods": {"migration_cost_wh": 12, "bogus": 1}}`},
+		{"periods block without periods scenario", `{"scenario": ` + planScenario + `, "target": 0.05, "periods": {"migration_cost_wh": 12}}`},
+		{"periods scenario without periods block", `{"scenario": ` + periodsScenario + `, "target": 0.05}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := postPlan(t, s, c.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", w.Code, w.Body.String())
+			}
+			if got := decodeError(t, w); got.Code != CodeInvalidArgument {
+				t.Fatalf("code %s, want %s", got.Code, CodeInvalidArgument)
+			}
+		})
+	}
+}
+
 // An undersized supply is a structured 422, distinguishable from a malformed
 // request.
 func TestPlanEndpointInfeasible(t *testing.T) {
